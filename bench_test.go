@@ -1,0 +1,332 @@
+// Benchmark harness: one benchmark per table/figure of the HIOS paper's
+// evaluation. Each benchmark regenerates its figure (at a reduced seed
+// count so the suite stays tractable; cmd/hios-sim and cmd/hios-exp run
+// the full paper settings) and reports the figure's headline quantities
+// as custom metrics, so `go test -bench=. -benchmem` reproduces the
+// entire evaluation in one command.
+//
+// Benchmarks are not expected to match the paper's absolute numbers — the
+// substrate is an analytic GPU model, not the authors' dual-A40 testbed —
+// but the reported metrics preserve the paper's qualitative results:
+// who wins, by roughly what factor, and where crossovers fall.
+package hios_test
+
+import (
+	"testing"
+
+	"github.com/shus-lab/hios/internal/experiments"
+)
+
+// benchSim keeps sweeps fast: 3 instances per point instead of 30.
+func benchSim() experiments.SimOptions {
+	return experiments.SimOptions{Seeds: 3, GPUs: 4}
+}
+
+// BenchmarkFig01ContentionRatio regenerates Fig. 1: the
+// sequential/parallel latency ratio of two identical convolutions. The
+// reported metrics bracket the crossover (ratio at 64px is > 1, at 128px
+// < 1 on the paper's A40).
+func BenchmarkFig01ContentionRatio(b *testing.B) {
+	var at64, at128 float64
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig1()
+		at64, _ = fig.At("A40", 64)
+		at128, _ = fig.At("A40", 128)
+	}
+	b.ReportMetric(at64, "ratio@64px")
+	b.ReportMetric(at128, "ratio@128px")
+}
+
+// BenchmarkFig02CommCompute regenerates Fig. 2: the transfer/compute time
+// ratio across the three dual-GPU platforms at 1024px. The PCIe platform
+// must report the highest ratio.
+func BenchmarkFig02CommCompute(b *testing.B) {
+	var nvlink, pcie float64
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig2()
+		nvlink, _ = fig.At("2x A40 + NVLink", 1024)
+		pcie, _ = fig.At("2x V100S + PCIe3", 1024)
+	}
+	b.ReportMetric(nvlink, "nvlink-ratio@1024")
+	b.ReportMetric(pcie, "pcie-ratio@1024")
+}
+
+// BenchmarkFig07GPUCount regenerates Fig. 7: latency vs the number of
+// GPUs (2..12) for six algorithms. Reported: HIOS-LP's speedup over
+// sequential at 12 GPUs (paper: up to 3.8x) and over HIOS-MR.
+func BenchmarkFig07GPUCount(b *testing.B) {
+	var lpSpeedup, lpOverMR float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig7(benchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq, _ := fig.At(experiments.AlgoSequential, 12)
+		lp, _ := fig.At(experiments.AlgoHIOSLP, 12)
+		mr, _ := fig.At(experiments.AlgoHIOSMR, 12)
+		lpSpeedup = seq / lp
+		lpOverMR = mr / lp
+	}
+	b.ReportMetric(lpSpeedup, "lp-speedup@12gpus")
+	b.ReportMetric(lpOverMR, "lp-over-mr@12gpus")
+}
+
+// BenchmarkFig08OperatorCount regenerates Fig. 8: latency vs operator
+// count (100..400). Reported: HIOS-LP's speedup over sequential and over
+// IOS at 400 operators (paper: ~2.1x and ~1.9x).
+func BenchmarkFig08OperatorCount(b *testing.B) {
+	var overSeq, overIOS float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig8(benchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq, _ := fig.At(experiments.AlgoSequential, 400)
+		ios, _ := fig.At(experiments.AlgoIOS, 400)
+		lp, _ := fig.At(experiments.AlgoHIOSLP, 400)
+		overSeq, overIOS = seq/lp, ios/lp
+	}
+	b.ReportMetric(overSeq, "lp-over-seq@400ops")
+	b.ReportMetric(overIOS, "lp-over-ios@400ops")
+}
+
+// BenchmarkFig09DependencyCount regenerates Fig. 9: latency vs dependency
+// count (400..600). Reported: HIOS-LP's speedup over sequential at both
+// ends (the paper's speedup declines from 2.06 to 1.64; our load-bound
+// instances flatten the decline — see EXPERIMENTS.md).
+func BenchmarkFig09DependencyCount(b *testing.B) {
+	var sp400, sp600 float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig9(benchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		seqA, _ := fig.At(experiments.AlgoSequential, 400)
+		lpA, _ := fig.At(experiments.AlgoHIOSLP, 400)
+		seqB, _ := fig.At(experiments.AlgoSequential, 600)
+		lpB, _ := fig.At(experiments.AlgoHIOSLP, 600)
+		sp400, sp600 = seqA/lpA, seqB/lpB
+	}
+	b.ReportMetric(sp400, "lp-speedup@400deps")
+	b.ReportMetric(sp600, "lp-speedup@600deps")
+}
+
+// BenchmarkFig10LayerCount regenerates Fig. 10: latency vs layer count
+// (6..22), the model's degree of parallelism. Reported: HIOS-LP's latency
+// at 6 and 22 layers (paper: 174 vs 233 ms — wider is faster).
+func BenchmarkFig10LayerCount(b *testing.B) {
+	var lat6, lat22 float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig10(benchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat6, _ = fig.At(experiments.AlgoHIOSLP, 6)
+		lat22, _ = fig.At(experiments.AlgoHIOSLP, 22)
+	}
+	b.ReportMetric(lat6, "lp-ms@6layers")
+	b.ReportMetric(lat22, "lp-ms@22layers")
+}
+
+// BenchmarkFig11CommRatio regenerates Fig. 11: latency vs the
+// communication/computation ratio p (0.4..1.2). Reported: HIOS-LP's
+// speedup over sequential at p=0.4 and p=1.2 (paper: 2.23 down to 1.78).
+func BenchmarkFig11CommRatio(b *testing.B) {
+	var spLow, spHigh float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig11(benchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		seqA, _ := fig.At(experiments.AlgoSequential, 0.4)
+		lpA, _ := fig.At(experiments.AlgoHIOSLP, 0.4)
+		seqB, _ := fig.At(experiments.AlgoSequential, 1.2)
+		lpB, _ := fig.At(experiments.AlgoHIOSLP, 1.2)
+		spLow, spHigh = seqA/lpA, seqB/lpB
+	}
+	b.ReportMetric(spLow, "lp-speedup@p0.4")
+	b.ReportMetric(spHigh, "lp-speedup@p1.2")
+}
+
+// BenchmarkFig12InferenceLatency regenerates Fig. 12 for both benchmarks
+// at their default and largest sizes. Reported: HIOS-LP's gain over IOS
+// at the largest Inception input (paper: up to 16.5%).
+func BenchmarkFig12InferenceLatency(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		inc, err := experiments.Fig12(experiments.Inception, []int{299, 2048})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Fig12(experiments.NASNet, []int{331, 2048}); err != nil {
+			b.Fatal(err)
+		}
+		ios, _ := inc.At(experiments.AlgoIOS, 2048)
+		lp, _ := inc.At(experiments.AlgoHIOSLP, 2048)
+		gain = (ios - lp) / ios * 100
+	}
+	b.ReportMetric(gain, "lp-gain-over-ios-%")
+}
+
+// BenchmarkFig13GainBreakdown regenerates Fig. 13: the six-algorithm
+// breakdown on both benchmarks at small and large inputs. Reported: the
+// fraction of HIOS-LP's gain delivered by inter-GPU scheduling alone for
+// Inception at the large input (paper: 98.2%).
+func BenchmarkFig13GainBreakdown(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		fig, _, err := experiments.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq, _ := fig.At(experiments.AlgoSequential, 1) // inception@2048
+		lp, _ := fig.At(experiments.AlgoHIOSLP, 1)
+		inter, _ := fig.At(experiments.AlgoInterLP, 1)
+		if seq > lp {
+			share = (seq - inter) / (seq - lp) * 100
+		}
+	}
+	b.ReportMetric(share, "inter-gpu-gain-share-%")
+}
+
+// BenchmarkAblationWindow sweeps the sliding-window size w (DESIGN.md
+// ablation). Reported: HIOS-LP latency with the pass disabled (w=1) and
+// at the default width.
+func BenchmarkAblationWindow(b *testing.B) {
+	var w1, w4 float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.AblationWindow(experiments.SimOptions{Seeds: 2, GPUs: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w1, _ = fig.At(experiments.AlgoHIOSLP, 1)
+		w4, _ = fig.At(experiments.AlgoHIOSLP, 4)
+	}
+	b.ReportMetric(w1, "lp-ms@w1")
+	b.ReportMetric(w4, "lp-ms@w4")
+}
+
+// BenchmarkAblationIOSPruning sweeps IOS's prune window (DESIGN.md
+// ablation). Reported: latency at the narrowest and widest settings.
+func BenchmarkAblationIOSPruning(b *testing.B) {
+	var narrow, wide float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.AblationIOSPruning(experiments.SimOptions{Seeds: 1, GPUs: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		narrow, _ = fig.At(experiments.AlgoIOS, 2)
+		wide, _ = fig.At(experiments.AlgoIOS, 10)
+	}
+	b.ReportMetric(narrow, "ios-ms@r2")
+	b.ReportMetric(wide, "ios-ms@r10")
+}
+
+// BenchmarkAblationLinkContention measures the shared-NVLink penalty per
+// scheduler (the mechanism behind the paper's real-system LP>MR gap).
+// Reported: the extra milliseconds HIOS-LP and HIOS-MR pay when the
+// bridge serializes.
+func BenchmarkAblationLinkContention(b *testing.B) {
+	var lpPen, mrPen float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.AblationLinkContention(experiments.Inception, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lpIdeal, _ := fig.At(experiments.AlgoHIOSLP, 0)
+		lpSer, _ := fig.At(experiments.AlgoHIOSLP, 1)
+		mrIdeal, _ := fig.At(experiments.AlgoHIOSMR, 0)
+		mrSer, _ := fig.At(experiments.AlgoHIOSMR, 1)
+		lpPen, mrPen = lpSer-lpIdeal, mrSer-mrIdeal
+	}
+	b.ReportMetric(lpPen, "lp-penalty-ms")
+	b.ReportMetric(mrPen, "mr-penalty-ms")
+}
+
+// BenchmarkNCCLOverlap runs the §VI-E what-if: NCCL-style launch hiding
+// on NASNet at its default size. Reported: HIOS-LP's latency under MPI
+// and NCCL transports.
+func BenchmarkNCCLOverlap(b *testing.B) {
+	var mpiLat, ncclLat float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.NCCLOverlap(experiments.NASNet, 331)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mpiLat, _ = fig.At(experiments.AlgoHIOSLP, 0)
+		ncclLat, _ = fig.At(experiments.AlgoHIOSLP, 1)
+	}
+	b.ReportMetric(mpiLat, "lp-ms-mpi")
+	b.ReportMetric(ncclLat, "lp-ms-nccl")
+}
+
+// BenchmarkOptimalityGap measures how close the inter-GPU heuristics come
+// to the exact branch-and-bound optimum on 18-operator models (a study
+// the paper's claims invite but do not include). Reported: mean
+// latency/optimal ratios on 2 GPUs.
+func BenchmarkOptimalityGap(b *testing.B) {
+	var lpGap, mrGap float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.OptimalityGap(5, 18)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lpGap, _ = fig.At(experiments.AlgoInterLP, 2)
+		mrGap, _ = fig.At(experiments.AlgoInterMR, 2)
+	}
+	b.ReportMetric(lpGap, "lp/opt@2gpus")
+	b.ReportMetric(mrGap, "mr/opt@2gpus")
+}
+
+// BenchmarkClusterStudy measures the value of topology awareness on a
+// 2x2 two-level cluster (an extension of the paper's SMP setting).
+// Reported: topology-aware vs topology-blind HIOS-LP latency at an 8x
+// inter-node cost factor.
+func BenchmarkClusterStudy(b *testing.B) {
+	var aware, blind float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.ClusterStudy(experiments.SimOptions{Seeds: 2, GPUs: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		aware, _ = fig.At("hios-lp-topology-aware", 8)
+		blind, _ = fig.At("hios-lp-topology-blind", 8)
+	}
+	b.ReportMetric(aware, "aware-ms@8x")
+	b.ReportMetric(blind, "blind-ms@8x")
+}
+
+// BenchmarkAblationIntraGPU compares Algorithm 2 against per-GPU exact
+// IOS (the §IV-B counterfactual) on top of the same inter-GPU LP
+// placement. Reported: the mean latencies of both strategies.
+func BenchmarkAblationIntraGPU(b *testing.B) {
+	var alg2, perGPU float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.AblationIntraGPU(experiments.SimOptions{Seeds: 2, GPUs: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		alg2, _ = fig.At("algorithm-2", 1)
+		perGPU, _ = fig.At("per-gpu-ios", 2)
+	}
+	b.ReportMetric(alg2, "alg2-ms")
+	b.ReportMetric(perGPU, "per-gpu-ios-ms")
+}
+
+// BenchmarkFig14SchedulingCost regenerates Fig. 14: the time cost of
+// scheduling optimization over input sizes. Reported: the IOS/HIOS-LP
+// cost ratio at 1024px Inception (the paper's IOS curve grows much
+// faster).
+func BenchmarkFig14SchedulingCost(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig14(experiments.Inception, []int{299, 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ios, _ := fig.At(experiments.AlgoIOS, 1024)
+		lp, _ := fig.At(experiments.AlgoHIOSLP, 1024)
+		ratio = ios / lp
+	}
+	b.ReportMetric(ratio, "ios-over-lp-cost@1024")
+}

@@ -1,0 +1,183 @@
+// Command hios-exp regenerates the HIOS paper's motivating measurements
+// and real-system experiments against the simulated dual-A40 platform:
+//
+//	Fig. 1  - sequential/parallel latency ratio of two identical
+//	          convolutions over input sizes (the contention crossover);
+//	Fig. 2  - transfer/compute time ratio across three dual-GPU platforms;
+//	Fig. 12 - inference latency of Inception-v3 and NASNet-A over input
+//	          sizes under four schedulers;
+//	Fig. 13 - six-algorithm latency breakdown at small and large inputs;
+//	Fig. 14 - time cost of scheduling optimization (profiling + algorithm).
+//
+// Examples:
+//
+//	hios-exp                    # every figure
+//	hios-exp -fig 12 -model nasnet -sizes 331,512,1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/shus-lab/hios/internal/experiments"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure to regenerate: 1, 2, 12, 13, 14 or all")
+		modelName = flag.String("model", "both", "benchmark for figs 12/14: inception, nasnet or both")
+		sizesFlag = flag.String("sizes", "", "comma-separated input sizes (default: paper sweep)")
+	)
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		fatal(err)
+	}
+	benchmarks, err := pickBenchmarks(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+
+	want := func(id string) bool { return *fig == "all" || *fig == id }
+	ran := false
+
+	if want("1") {
+		ran = true
+		f := experiments.Fig1()
+		f.Render(os.Stdout)
+		fmt.Println()
+	}
+	if want("2") {
+		ran = true
+		f := experiments.Fig2()
+		f.Render(os.Stdout)
+		fmt.Println()
+	}
+	if want("12") {
+		ran = true
+		for _, b := range benchmarks {
+			f, err := experiments.Fig12(b, sizes)
+			if err != nil {
+				fatal(err)
+			}
+			f.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if want("13") {
+		ran = true
+		f, labels, err := experiments.Fig13()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# scenarios: %s\n", strings.Join(labels, ", "))
+		f.Render(os.Stdout)
+		fmt.Println()
+	}
+	if want("14") {
+		ran = true
+		for _, b := range benchmarks {
+			f, err := experiments.Fig14(b, sizes)
+			if err != nil {
+				fatal(err)
+			}
+			f.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if want("ablation") {
+		ran = true
+		runAblations()
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown figure %q (want 1, 2, 12, 13, 14, ablation or all)", *fig))
+	}
+}
+
+// runAblations prints the four ablation studies of DESIGN.md: window
+// size, IOS pruning, link contention, and the §VI-E NCCL what-if.
+func runAblations() {
+	opt := experiments.SimOptions{Seeds: 5, GPUs: 4}
+	if f, err := experiments.AblationWindow(opt); err != nil {
+		fatal(err)
+	} else {
+		f.Render(os.Stdout)
+		fmt.Println()
+	}
+	if f, err := experiments.AblationIOSPruning(experiments.SimOptions{Seeds: 3, GPUs: 4}); err != nil {
+		fatal(err)
+	} else {
+		f.Render(os.Stdout)
+		fmt.Println()
+	}
+	if f, err := experiments.AblationLinkContention(experiments.Inception, 1024); err != nil {
+		fatal(err)
+	} else {
+		fmt.Println("# x: 0 = contention-free links (cost model), 1 = serialized NVLink bridge (testbed)")
+		f.Render(os.Stdout)
+		fmt.Println()
+	}
+	if f, err := experiments.NCCLOverlap(experiments.NASNet, 331); err != nil {
+		fatal(err)
+	} else {
+		fmt.Println("# x: 0 = CUDA-aware MPI transfers, 1 = NCCL-style transfers (launch hiding)")
+		f.Render(os.Stdout)
+		fmt.Println()
+	}
+	if f, err := experiments.OptimalityGap(10, 18); err != nil {
+		fatal(err)
+	} else {
+		f.Render(os.Stdout)
+		fmt.Println()
+	}
+	if f, err := experiments.ClusterStudy(experiments.SimOptions{Seeds: 5, GPUs: 4}); err != nil {
+		fatal(err)
+	} else {
+		f.Render(os.Stdout)
+		fmt.Println()
+	}
+	if f, err := experiments.AblationIntraGPU(experiments.SimOptions{Seeds: 5, GPUs: 4}); err != nil {
+		fatal(err)
+	} else {
+		fmt.Println("# x: 0 = inter-GPU only, 1 = Algorithm 2 window, 2 = per-GPU exact IOS (cross-GPU blind)")
+		f.Render(os.Stdout)
+		fmt.Println()
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func pickBenchmarks(name string) ([]experiments.Benchmark, error) {
+	switch name {
+	case "inception":
+		return []experiments.Benchmark{experiments.Inception}, nil
+	case "nasnet":
+		return []experiments.Benchmark{experiments.NASNet}, nil
+	case "both":
+		return []experiments.Benchmark{experiments.Inception, experiments.NASNet}, nil
+	default:
+		return nil, fmt.Errorf("unknown model %q (want inception, nasnet or both)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hios-exp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+package hios_test
+
+import (
+	"fmt"
+	"log"
+
+	hios "github.com/shus-lab/hios"
+)
+
+// ExampleOptimize schedules a tiny two-branch model on two GPUs with
+// HIOS-LP.
+func ExampleOptimize() {
+	g := hios.NewGraph(4, 4)
+	in := g.AddOp(hios.Op{Name: "in", Time: 0.1, Util: 0.1})
+	a := g.AddOp(hios.Op{Name: "conv-a", Time: 2, Util: 0.9})
+	b := g.AddOp(hios.Op{Name: "conv-b", Time: 2, Util: 0.9})
+	out := g.AddOp(hios.Op{Name: "concat", Time: 0.2, Util: 0.2})
+	g.AddEdge(in, a, 0.1)
+	g.AddEdge(in, b, 0.1)
+	g.AddEdge(a, out, 0.1)
+	g.AddEdge(b, out, 0.1)
+	if err := g.Finalize(); err != nil {
+		log.Fatal(err)
+	}
+
+	m := hios.DefaultCostModel(g)
+	res, err := hios.Optimize(g, m, hios.HIOSLP, hios.Options{GPUs: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("latency: %.1f ms on %d GPUs\n", res.Latency, res.Schedule.UsedGPUs())
+	// Output:
+	// latency: 2.5 ms on 2 GPUs
+}
+
+// ExampleAnalyzePipeline reports sustained throughput of a pipelined
+// two-stage schedule.
+func ExampleAnalyzePipeline() {
+	g := hios.NewGraph(2, 1)
+	a := g.AddOp(hios.Op{Name: "a", Time: 2, Util: 1})
+	b := g.AddOp(hios.Op{Name: "b", Time: 2, Util: 1})
+	g.AddEdge(a, b, 0.5)
+	if err := g.Finalize(); err != nil {
+		log.Fatal(err)
+	}
+	m := hios.DefaultCostModel(g)
+	// Pin each stage to its own GPU: a classic two-stage pipeline.
+	s := hios.NewSchedule(2)
+	s.Append(0, a)
+	s.Append(1, b)
+	rep, err := hios.AnalyzePipeline(g, m, s, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("latency %.1f ms, steady period %.1f ms\n", rep.LatencyMs, rep.SteadyPeriodMs)
+	// Output:
+	// latency 4.5 ms, steady period 2.0 ms
+}
+
+// ExampleWithTopology shows cluster-aware scheduling.
+func ExampleWithTopology() {
+	cfg := hios.RandomModelDefaults()
+	cfg.Ops, cfg.Layers, cfg.Deps, cfg.Seed = 20, 4, 40, 1
+	g, err := hios.RandomModel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flat := hios.DefaultCostModel(g)
+	topo := hios.WithTopology(flat, hios.TwoLevelTopology(2, 2, 8))
+	res, err := hios.Optimize(g, topo, hios.HIOSLP, hios.Options{GPUs: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduled %d operators\n", res.Schedule.NumOps())
+	// Output:
+	// scheduled 20 operators
+}

@@ -1,0 +1,74 @@
+// Inception-v3 on a dual-A40 platform: the paper's first real-life
+// benchmark (§VI-B). This example sweeps input image sizes — the paper's
+// central variable, since high-resolution scientific imagery makes
+// operators large — and shows where multi-GPU scheduling overtakes
+// single-GPU IOS, then writes a chrome://tracing timeline of the best
+// schedule.
+//
+// Run with: go run ./examples/inception
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	hios "github.com/shus-lab/hios"
+)
+
+func main() {
+	plat := hios.DualA40()
+	algos := []hios.Algorithm{hios.Sequential, hios.IOS, hios.HIOSLP, hios.HIOSMR}
+
+	fmt.Printf("Inception-v3 on %d GPUs, latency in ms:\n\n", plat.GPUs)
+	fmt.Printf("%-8s", "size")
+	for _, a := range algos {
+		fmt.Printf("  %-12s", a)
+	}
+	fmt.Println("  winner")
+
+	for _, size := range []int{299, 512, 1024, 2048} {
+		net := hios.InceptionV3(plat, size)
+		m := hios.DefaultCostModel(net.G)
+		fmt.Printf("%-8d", size)
+		best, bestLat := hios.Algorithm(""), 0.0
+		for _, a := range algos {
+			res, err := hios.Optimize(net.G, m, a, hios.Options{GPUs: plat.GPUs})
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Measure on the simulated testbed, where concurrent
+			// transfers share the single NVLink bridge.
+			tr, err := hios.Simulate(net.G, m, res.Schedule, true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-12.3f", tr.Latency)
+			if best == "" || tr.Latency < bestLat {
+				best, bestLat = a, tr.Latency
+			}
+		}
+		fmt.Printf("  %s\n", best)
+	}
+
+	// Export the 1024px HIOS-LP timeline for chrome://tracing.
+	net := hios.InceptionV3(plat, 1024)
+	m := hios.DefaultCostModel(net.G)
+	res, err := hios.Optimize(net.G, m, hios.HIOSLP, hios.Options{GPUs: plat.GPUs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := hios.Simulate(net.G, m, res.Schedule, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := hios.ChromeTrace(net.G, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const out = "inception-1024-hios-lp.trace.json"
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s (open in chrome://tracing; simulated latency %.3f ms)\n", out, tr.Latency)
+}

@@ -1,0 +1,79 @@
+// Irrigation-mapping scenario: §II of the paper motivates HIOS with
+// very-high-resolution satellite imagery — 5000x5000-pixel scenes that
+// geoscientists must downsize to ~500x500 "for acceptable inference
+// efficiency", losing fine detail. This example quantifies that exact
+// trade-off on Inception-v3: for a fixed per-tile latency budget, what is
+// the highest resolution each scheduler sustains, and how much resolution
+// does multi-GPU scheduling buy back?
+//
+// Run with: go run ./examples/irrigation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hios "github.com/shus-lab/hios"
+)
+
+func main() {
+	const budgetMs = 12.0
+	plat := hios.DualA40()
+	resolutions := []int{299, 512, 768, 1024, 1536, 2048}
+	algos := []hios.Algorithm{hios.Sequential, hios.IOS, hios.HIOSLP}
+
+	fmt.Println("Satellite-tile classification with Inception-v3 (dual A40)")
+	fmt.Printf("latency budget per tile: %.1f ms\n\n", budgetMs)
+	fmt.Printf("%-8s", "pixels")
+	for _, a := range algos {
+		fmt.Printf("  %-16s", a)
+	}
+	fmt.Println("  peak-mem(LP)")
+
+	maxRes := map[hios.Algorithm]int{}
+	for _, r := range resolutions {
+		net := hios.InceptionV3(plat, r)
+		m := hios.DefaultCostModel(net.G)
+		fmt.Printf("%-8d", r)
+		var lpSchedule *hios.Schedule
+		for _, a := range algos {
+			res, err := hios.Optimize(net.G, m, a, hios.Options{GPUs: plat.GPUs})
+			if err != nil {
+				log.Fatal(err)
+			}
+			tr, err := hios.Simulate(net.G, m, res.Schedule, true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mark := " "
+			if tr.Latency <= budgetMs {
+				mark = "*"
+				if r > maxRes[a] {
+					maxRes[a] = r
+				}
+			}
+			fmt.Printf("  %8.2fms %s   ", tr.Latency, mark)
+			if a == hios.HIOSLP {
+				lpSchedule = res.Schedule
+			}
+		}
+		mem, err := hios.AnalyzeMemory(net.G, m, lpSchedule)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %6.1f MB\n", float64(mem.MaxPeak())/(1<<20))
+	}
+
+	fmt.Println("\n(* = within budget)")
+	fmt.Println("\nhighest in-budget resolution:")
+	for _, a := range algos {
+		fmt.Printf("  %-12s %4d px", a, maxRes[a])
+		if maxRes[a] > 0 && maxRes[hios.Sequential] > 0 {
+			gain := float64(maxRes[a]*maxRes[a]) / float64(maxRes[hios.Sequential]*maxRes[hios.Sequential])
+			fmt.Printf("  (%.1fx the sequential pixel count)", gain)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nHigher in-budget resolution means less destructive downsizing of the")
+	fmt.Println("5000x5000 source scenes — the paper's §II motivation made concrete.")
+}

@@ -1,0 +1,67 @@
+// NASNet-A on a dual-A40 platform: the paper's branch-heavy stress
+// benchmark (374 operators). This example dissects where HIOS-LP's gain
+// comes from — the paper's Fig. 13 analysis — by comparing the full
+// hierarchical scheduler against its inter-GPU-only half, and reports how
+// operators and transfers were placed.
+//
+// Run with: go run ./examples/nasnet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hios "github.com/shus-lab/hios"
+)
+
+func main() {
+	plat := hios.DualA40()
+	for _, size := range []int{331, 1024} {
+		net := hios.NASNetA(plat, size)
+		m := hios.DefaultCostModel(net.G)
+		fmt.Printf("NASNet-A @ %dpx: %d operators, %d dependencies\n",
+			size, net.G.NumOps(), net.G.NumEdges())
+
+		seqRes, err := hios.Optimize(net.G, m, hios.Sequential, hios.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		interRes, err := hios.Optimize(net.G, m, hios.InterLP, hios.Options{GPUs: plat.GPUs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fullRes, err := hios.Optimize(net.G, m, hios.HIOSLP, hios.Options{GPUs: plat.GPUs})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		gainInter := seqRes.Latency - interRes.Latency
+		gainFull := seqRes.Latency - fullRes.Latency
+		fmt.Printf("  sequential:        %8.3f ms\n", seqRes.Latency)
+		fmt.Printf("  inter-GPU LP only: %8.3f ms\n", interRes.Latency)
+		fmt.Printf("  full HIOS-LP:      %8.3f ms\n", fullRes.Latency)
+		if gainFull > 0 {
+			fmt.Printf("  inter-GPU share of the gain: %.1f%% (paper: ~100%% for NASNet)\n",
+				100*gainInter/gainFull)
+		}
+
+		// Placement statistics: how much of the graph crosses GPUs.
+		place := fullRes.Schedule.Placement(net.G.NumOps())
+		perGPU := make(map[int]int)
+		cross := 0
+		for v, gpu := range place {
+			perGPU[gpu]++
+			_ = v
+		}
+		for _, e := range net.G.Edges() {
+			if place[e.From] != place[e.To] {
+				cross++
+			}
+		}
+		fmt.Printf("  placement: ")
+		for gpu := 0; gpu < plat.GPUs; gpu++ {
+			fmt.Printf("GPU%d=%d ops  ", gpu, perGPU[gpu])
+		}
+		fmt.Printf("(%d/%d dependencies cross GPUs)\n\n", cross, net.G.NumEdges())
+	}
+}

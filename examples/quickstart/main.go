@@ -1,0 +1,76 @@
+// Quickstart: build a small multi-branch computation graph by hand,
+// schedule it on two GPUs with HIOS-LP, and inspect the result.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hios "github.com/shus-lab/hios"
+)
+
+func main() {
+	// A toy two-branch model: the classic diamond of the paper's
+	// motivating discussion. Times are milliseconds; Util is the
+	// fraction of one GPU the operator saturates when running alone.
+	g := hios.NewGraph(6, 6)
+	input := g.AddOp(hios.Op{Name: "input", Time: 0.05, Util: 0.05})
+	convA := g.AddOp(hios.Op{Name: "conv-a", Time: 2.0, Util: 0.9})
+	convB := g.AddOp(hios.Op{Name: "conv-b", Time: 2.2, Util: 0.9})
+	poolA := g.AddOp(hios.Op{Name: "pool-a", Time: 0.4, Util: 0.3})
+	poolB := g.AddOp(hios.Op{Name: "pool-b", Time: 0.4, Util: 0.3})
+	concat := g.AddOp(hios.Op{Name: "concat", Time: 0.3, Util: 0.4})
+	g.AddEdge(input, convA, 0.15)
+	g.AddEdge(input, convB, 0.15)
+	g.AddEdge(convA, poolA, 0.1)
+	g.AddEdge(convB, poolB, 0.1)
+	g.AddEdge(poolA, concat, 0.05)
+	g.AddEdge(poolB, concat, 0.05)
+	if err := g.Finalize(); err != nil {
+		log.Fatal(err)
+	}
+
+	m := hios.DefaultCostModel(g)
+
+	// Compare every scheduler on two GPUs.
+	fmt.Println("algorithm      latency(ms)  schedule")
+	for _, algo := range hios.Algorithms() {
+		res, err := hios.Optimize(g, m, algo, hios.Options{GPUs: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %10.3f  %s\n", algo, res.Latency, res.Schedule)
+	}
+
+	// Take the HIOS-LP schedule, look at its timeline, and export it.
+	res, err := hios.Optimize(g, m, hios.HIOSLP, hios.Options{GPUs: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tm, err := hios.Evaluate(g, m, res.Schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nHIOS-LP timeline:")
+	for v := 0; v < g.NumOps(); v++ {
+		op := g.Op(hios.OpID(v))
+		fmt.Printf("  %-8s GPU%-2d [%6.3f, %6.3f] ms\n",
+			op.Name, tm.GPUOf[v], tm.OpStart[v], tm.OpFinish[v])
+	}
+
+	// A terminal Gantt chart of the same schedule.
+	tr, err := hios.Simulate(g, m, res.Schedule, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nHIOS-LP Gantt (simulated, shared NVLink):")
+	fmt.Print(hios.Gantt(g, tr, 60))
+
+	data, err := hios.ExportJSON(g, res.Schedule, "quickstart", hios.HIOSLP, res.Latency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nschedule JSON (%d bytes):\n%s\n", len(data), data)
+}

@@ -1,0 +1,3 @@
+module github.com/shus-lab/hios
+
+go 1.24

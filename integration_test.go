@@ -1,0 +1,126 @@
+package hios_test
+
+import (
+	"testing"
+
+	hios "github.com/shus-lab/hios"
+)
+
+// TestIntegrationInceptionAllAlgorithms drives the full public workflow on
+// a real model: optimize with every algorithm, cross-check the analytic
+// evaluator against the discrete-event simulator, round-trip the schedule
+// through JSON, and verify memory and pipeline analyses stay coherent.
+func TestIntegrationInceptionAllAlgorithms(t *testing.T) {
+	plat := hios.DualA40()
+	net := hios.InceptionV3(plat, 299)
+	m := hios.DefaultCostModel(net.G)
+
+	for _, algo := range hios.Algorithms() {
+		res, err := hios.Optimize(net.G, m, algo, hios.Options{GPUs: plat.GPUs})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+
+		// Simulator (ideal links) must agree with the evaluator.
+		tr, err := hios.Simulate(net.G, m, res.Schedule, false)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if diff := tr.Latency - res.Latency; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("%s: simulator %g != evaluator %g", algo, tr.Latency, res.Latency)
+		}
+
+		// Link contention can only add latency.
+		trS, err := hios.Simulate(net.G, m, res.Schedule, true)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if trS.Latency < tr.Latency-1e-9 {
+			t.Fatalf("%s: serialized links reduced latency", algo)
+		}
+
+		// JSON round trip preserves evaluation.
+		data, err := hios.ExportJSON(net.G, res.Schedule, net.Name, algo, res.Latency)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		back, err := hios.ImportJSON(data)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		lat, err := hios.Latency(net.G, m, back)
+		if err != nil || lat != res.Latency {
+			t.Fatalf("%s: JSON round trip changed latency: %g vs %g (%v)", algo, lat, res.Latency, err)
+		}
+
+		// Memory must balance and fit the device.
+		mem, err := hios.AnalyzeMemory(net.G, m, res.Schedule)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if mem.MaxPeak() <= 0 || !mem.Fits(48<<30) {
+			t.Fatalf("%s: memory analysis implausible: %+v", algo, mem.PeakBytes)
+		}
+
+		// Pipelining: the steady period never exceeds single-request
+		// latency and never beats the bottleneck GPU's busy time.
+		pipe, err := hios.AnalyzePipeline(net.G, m, res.Schedule, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if pipe.SteadyPeriodMs > pipe.LatencyMs+1e-9 {
+			t.Fatalf("%s: period %g above latency %g", algo, pipe.SteadyPeriodMs, pipe.LatencyMs)
+		}
+		var maxBusy float64
+		for gi := range res.Schedule.GPUs {
+			var busy float64
+			for _, st := range res.Schedule.GPUs[gi].Stages {
+				busy += m.StageTime(st.Ops)
+			}
+			if busy > maxBusy {
+				maxBusy = busy
+			}
+		}
+		if pipe.SteadyPeriodMs < maxBusy-1e-9 {
+			t.Fatalf("%s: period %g below bottleneck busy %g", algo, pipe.SteadyPeriodMs, maxBusy)
+		}
+	}
+}
+
+// TestIntegrationCrossoverStory reproduces the paper's central narrative
+// end to end through the public API: at the default input size IOS is
+// competitive, at large inputs HIOS-LP wins decisively, and HIOS-LP beats
+// HIOS-MR at both.
+func TestIntegrationCrossoverStory(t *testing.T) {
+	plat := hios.DualA40()
+	measure := func(size int, algo hios.Algorithm) float64 {
+		net := hios.InceptionV3(plat, size)
+		m := hios.DefaultCostModel(net.G)
+		res, err := hios.Optimize(net.G, m, algo, hios.Options{GPUs: plat.GPUs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := hios.Simulate(net.G, m, res.Schedule, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Latency
+	}
+
+	// Large input: HIOS-LP < IOS and HIOS-LP < HIOS-MR.
+	iosL := measure(2048, hios.IOS)
+	lpL := measure(2048, hios.HIOSLP)
+	mrL := measure(2048, hios.HIOSMR)
+	if lpL >= iosL {
+		t.Fatalf("large input: HIOS-LP (%g) should beat IOS (%g)", lpL, iosL)
+	}
+	if lpL >= mrL {
+		t.Fatalf("large input: HIOS-LP (%g) should beat HIOS-MR (%g)", lpL, mrL)
+	}
+	// Small input: IOS within 25% of HIOS-LP either way (competitive).
+	iosS := measure(299, hios.IOS)
+	lpS := measure(299, hios.HIOSLP)
+	if lpS > iosS*1.25 || iosS > lpS*1.25 {
+		t.Fatalf("small input: IOS (%g) and HIOS-LP (%g) should be competitive", iosS, lpS)
+	}
+}

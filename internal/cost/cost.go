@@ -1,0 +1,176 @@
+// Package cost defines the cost-model contract the HIOS schedulers consume
+// and provides the standard implementations.
+//
+// Following §III-A of the paper, a scheduler needs exactly three
+// quantities, all in milliseconds:
+//
+//   - t(v): execution time of operator v running alone on one GPU;
+//   - t(u, v): transfer time of u's output tensor between two GPUs,
+//     charged only when u and v are mapped to different devices;
+//   - t(S): total time of a set S of independent operators launched
+//     concurrently (one CUDA stream each) on a single GPU.
+//
+// On the paper's testbed these come from profiling real kernels with cuDNN;
+// here they come from graph weights (simulation experiments, §V) or from
+// the analytic GPU device model in internal/gpu (real-system experiments,
+// §VI). The contention model below reproduces the behaviour the paper
+// measures in Fig. 1: concurrency helps while the GPU is under-utilized and
+// hurts once concurrent kernels saturate it.
+package cost
+
+import "github.com/shus-lab/hios/internal/graph"
+
+// Model supplies the three cost quantities of §III-A.
+type Model interface {
+	// OpTime returns t(v).
+	OpTime(v graph.OpID) float64
+	// CommTime returns t(u, v) for the dependency u -> v, assuming the
+	// endpoints run on different GPUs. Implementations return 0 when no
+	// such dependency exists.
+	CommTime(u, v graph.OpID) float64
+	// StageTime returns t(S): the makespan of the given independent
+	// operators starting simultaneously on one GPU. For a single
+	// operator it must equal OpTime. StageTime must be symmetric in the
+	// order of its arguments and monotone: adding an operator never
+	// decreases it.
+	StageTime(ops []graph.OpID) float64
+}
+
+// Item is one operator's contribution to a concurrent stage.
+type Item struct {
+	// Time is the operator's solo execution time t(v).
+	Time float64
+	// Util is the fraction of the GPU the operator saturates alone,
+	// in (0, 1].
+	Util float64
+}
+
+// Contention is the concurrent-execution model for one GPU.
+//
+// A stage S of independent operators launched on separate streams takes
+//
+//	t(S) = max( max_v t(v), Σ_v t(v)·u(v) ) · (1 + Alpha·max(0, Σ_v u(v) − 1))
+//
+// The first factor is a work-conservation bound: the stage can finish no
+// earlier than its longest member, and the GPU can retire at most one
+// GPU-second of normalized work (time × utilization) per second. The second
+// factor charges a contention and context-switch penalty, growing with the
+// amount of oversubscription, which is what makes two large kernels slower
+// in parallel than in sequence (paper Fig. 1, image sizes ≥ 128) while two
+// small kernels still overlap almost perfectly (sizes ≤ 64).
+type Contention struct {
+	// Alpha scales the oversubscription penalty. The paper's Fig. 1
+	// shows parallel execution of two saturating convolutions running
+	// up to ~20% slower than sequential; Alpha = 0.2 reproduces that.
+	Alpha float64
+	// DefaultUtil substitutes for operators whose utilization is
+	// unknown (Op.Util == 0).
+	DefaultUtil float64
+}
+
+// DefaultContention is the calibration used across the experiments.
+func DefaultContention() Contention {
+	return Contention{Alpha: 0.2, DefaultUtil: 0.35}
+}
+
+// StageTimeItems evaluates t(S) for explicit items.
+func (c Contention) StageTimeItems(items []Item) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	var maxT, work, util float64
+	for _, it := range items {
+		maxT, work, util = c.accumulate(maxT, work, util, it.Time, it.Util)
+	}
+	return c.combine(maxT, work, util)
+}
+
+// accumulate folds one operator into the stage aggregates.
+func (c Contention) accumulate(maxT, work, util, t, u float64) (float64, float64, float64) {
+	if u <= 0 {
+		u = c.DefaultUtil
+	}
+	if u > 1 {
+		u = 1
+	}
+	if t > maxT {
+		maxT = t
+	}
+	return maxT, work + t*u, util + u
+}
+
+// combine turns the stage aggregates into t(S).
+func (c Contention) combine(maxT, work, util float64) float64 {
+	t := maxT
+	if work > t {
+		t = work
+	}
+	if over := util - 1; over > 0 {
+		t *= 1 + c.Alpha*over
+	}
+	return t
+}
+
+// GraphModel is a Model backed directly by a graph's vertex and edge
+// weights, with concurrent stages priced by a Contention model. This is the
+// configuration of the paper's simulation study (§V): op times drawn
+// uniformly from [0.1, 4] ms, transfer times attached to edges, and
+// utilization derived from op size.
+type GraphModel struct {
+	g *graph.Graph
+	c Contention
+}
+
+var _ Model = (*GraphModel)(nil)
+
+// FromGraph builds a GraphModel over g.
+func FromGraph(g *graph.Graph, c Contention) *GraphModel {
+	return &GraphModel{g: g, c: c}
+}
+
+// OpTime implements Model.
+func (m *GraphModel) OpTime(v graph.OpID) float64 { return m.g.Time(v) }
+
+// CommTime implements Model.
+func (m *GraphModel) CommTime(u, v graph.OpID) float64 {
+	t, _ := m.g.TransferTime(u, v)
+	return t
+}
+
+// StageTime implements Model. It runs allocation-free: the IOS dynamic
+// program calls it millions of times.
+func (m *GraphModel) StageTime(ops []graph.OpID) float64 {
+	if len(ops) == 1 {
+		return m.g.Time(ops[0])
+	}
+	var maxT, work, util float64
+	for _, id := range ops {
+		op := m.g.Op(id)
+		maxT, work, util = m.c.accumulate(maxT, work, util, op.Time, op.Util)
+	}
+	return m.c.combine(maxT, work, util)
+}
+
+// Contention exposes the stage pricing used by the model.
+func (m *GraphModel) Contention() Contention { return m.c }
+
+// SerialModel prices stages as the sum of member times: no intra-GPU
+// overlap at all. Useful as a pessimistic baseline and in tests.
+type SerialModel struct{ Inner Model }
+
+var _ Model = SerialModel{}
+
+// OpTime implements Model.
+func (m SerialModel) OpTime(v graph.OpID) float64 { return m.Inner.OpTime(v) }
+
+// CommTime implements Model.
+func (m SerialModel) CommTime(u, v graph.OpID) float64 { return m.Inner.CommTime(u, v) }
+
+// StageTime implements Model.
+func (m SerialModel) StageTime(ops []graph.OpID) float64 {
+	var s float64
+	for _, v := range ops {
+		s += m.Inner.OpTime(v)
+	}
+	return s
+}

@@ -1,0 +1,137 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/shus-lab/hios/internal/graph"
+)
+
+func TestContentionSingleOpIsSolo(t *testing.T) {
+	c := DefaultContention()
+	if got := c.StageTimeItems([]Item{{Time: 3, Util: 0.7}}); got != 3 {
+		t.Fatalf("single item stage = %g, want 3", got)
+	}
+	if got := c.StageTimeItems(nil); got != 0 {
+		t.Fatalf("empty stage = %g, want 0", got)
+	}
+}
+
+func TestContentionSmallOpsOverlap(t *testing.T) {
+	c := DefaultContention()
+	// Two small ops (util .3): perfect overlap -> max time.
+	got := c.StageTimeItems([]Item{{Time: 1, Util: 0.3}, {Time: 1, Util: 0.3}})
+	if got != 1 {
+		t.Fatalf("two small ops = %g, want 1", got)
+	}
+}
+
+func TestContentionLargeOpsContend(t *testing.T) {
+	c := DefaultContention()
+	// Two saturating ops: work-conservation (2) plus penalty alpha*1.
+	got := c.StageTimeItems([]Item{{Time: 1, Util: 1}, {Time: 1, Util: 1}})
+	want := 2 * (1 + c.Alpha)
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("two large ops = %g, want %g", got, want)
+	}
+	// Parallel must be worse than sequential for saturating ops: the
+	// Fig. 1 high-workload regime.
+	if got <= 2 {
+		t.Fatal("saturating ops should be slower concurrent than sequential")
+	}
+}
+
+func TestContentionDefaultUtil(t *testing.T) {
+	c := Contention{Alpha: 0.2, DefaultUtil: 0.5}
+	got := c.StageTimeItems([]Item{{Time: 2}, {Time: 2}})
+	// utils default to .5 each: max(2, 2*.5+2*.5) = 2, no penalty.
+	if got != 2 {
+		t.Fatalf("default util stage = %g, want 2", got)
+	}
+}
+
+func TestContentionClampsUtil(t *testing.T) {
+	c := DefaultContention()
+	a := c.StageTimeItems([]Item{{Time: 1, Util: 5}, {Time: 1, Util: 5}})
+	b := c.StageTimeItems([]Item{{Time: 1, Util: 1}, {Time: 1, Util: 1}})
+	if a != b {
+		t.Fatalf("util should clamp to 1: %g vs %g", a, b)
+	}
+}
+
+func TestContentionMonotoneProperty(t *testing.T) {
+	// Adding an operator to a stage never decreases t(S), and t(S) is
+	// at least the longest member and at most sum*(1+alpha*(k-1)).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := DefaultContention()
+		k := 1 + rng.Intn(6)
+		items := make([]Item, 0, k+1)
+		for i := 0; i < k; i++ {
+			items = append(items, Item{Time: 0.1 + 4*rng.Float64(), Util: 0.05 + 0.95*rng.Float64()})
+		}
+		base := c.StageTimeItems(items)
+		maxT, sum := 0.0, 0.0
+		for _, it := range items {
+			if it.Time > maxT {
+				maxT = it.Time
+			}
+			sum += it.Time
+		}
+		if base < maxT-1e-12 {
+			return false
+		}
+		if base > sum*(1+c.Alpha*float64(k))+1e-9 {
+			return false
+		}
+		grown := c.StageTimeItems(append(items, Item{Time: 0.1 + 4*rng.Float64(), Util: 0.05 + 0.95*rng.Float64()}))
+		return grown >= base-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildPair(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(2, 1)
+	a := g.AddOp(graph.Op{Name: "a", Time: 2, Util: 0.4})
+	b := g.AddOp(graph.Op{Name: "b", Time: 3, Util: 0.4})
+	g.AddEdge(a, b, 0.5)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphModel(t *testing.T) {
+	g := buildPair(t)
+	m := FromGraph(g, DefaultContention())
+	if m.OpTime(0) != 2 || m.OpTime(1) != 3 {
+		t.Fatal("OpTime should read vertex weights")
+	}
+	if m.CommTime(0, 1) != 0.5 {
+		t.Fatal("CommTime should read edge weights")
+	}
+	if m.CommTime(1, 0) != 0 {
+		t.Fatal("CommTime of a nonexistent edge should be 0")
+	}
+	if m.StageTime([]graph.OpID{1}) != 3 {
+		t.Fatal("singleton StageTime must equal OpTime")
+	}
+	if m.Contention() != DefaultContention() {
+		t.Fatal("Contention accessor wrong")
+	}
+}
+
+func TestSerialModelSumsStage(t *testing.T) {
+	g := buildPair(t)
+	m := SerialModel{Inner: FromGraph(g, DefaultContention())}
+	if got := m.StageTime([]graph.OpID{0, 1}); got != 5 {
+		t.Fatalf("serial stage = %g, want 5", got)
+	}
+	if m.OpTime(0) != 2 || m.CommTime(0, 1) != 0.5 {
+		t.Fatal("SerialModel must forward OpTime/CommTime")
+	}
+}

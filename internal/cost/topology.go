@@ -1,0 +1,60 @@
+package cost
+
+import (
+	"github.com/shus-lab/hios/internal/gpu"
+	"github.com/shus-lab/hios/internal/graph"
+)
+
+// TopologyModel extends Model with placement-dependent communication:
+// on hierarchical platforms (multi-node clusters, §I of the paper) the
+// transfer time of a dependency depends on which pair of GPUs exchanges
+// it. The evaluator, the simulator and the placement-aware schedulers
+// (HIOS-MR's table, the branch-and-bound reference) consult
+// CommTimeBetween when the cost model provides it; HIOS-LP picks it up
+// automatically through the topology-aware evaluator.
+//
+// CommTime (the base interface) remains the *baseline* pair cost — the
+// intra-node transfer time — so topology-blind consumers keep working
+// and a uniform topology degenerates to the plain model exactly.
+type TopologyModel interface {
+	Model
+	// CommTimeBetween returns t(u, v) when u runs on GPU gu and v on
+	// GPU gv. It must return 0 when gu == gv.
+	CommTimeBetween(u, v graph.OpID, gu, gv int) float64
+}
+
+// CommBetween resolves a dependency's transfer time for a concrete GPU
+// pair against any model: topology-aware models dispatch per pair,
+// plain models charge the flat t(u, v) for any cross-GPU pair.
+func CommBetween(m Model, u, v graph.OpID, gu, gv int) float64 {
+	if gu == gv {
+		return 0
+	}
+	if tm, ok := m.(TopologyModel); ok {
+		return tm.CommTimeBetween(u, v, gu, gv)
+	}
+	return m.CommTime(u, v)
+}
+
+// topoModel wraps a Model with a per-pair transfer-time multiplier.
+type topoModel struct {
+	Model
+	topo gpu.Topology
+}
+
+var _ TopologyModel = (*topoModel)(nil)
+
+// WithTopology overlays a gpu.Topology onto a cost model: the cross-GPU
+// transfer time of every dependency becomes CommTime(u, v) scaled by the
+// pair's topology factor. Wrapping with a Uniform topology reproduces the
+// plain model.
+func WithTopology(m Model, topo gpu.Topology) TopologyModel {
+	return &topoModel{Model: m, topo: topo}
+}
+
+func (t *topoModel) CommTimeBetween(u, v graph.OpID, gu, gv int) float64 {
+	if gu == gv {
+		return 0
+	}
+	return t.Model.CommTime(u, v) * t.topo.Factor(gu, gv)
+}

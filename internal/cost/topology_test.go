@@ -1,0 +1,87 @@
+package cost
+
+import (
+	"testing"
+
+	"github.com/shus-lab/hios/internal/gpu"
+	"github.com/shus-lab/hios/internal/graph"
+)
+
+func TestTopologyFactors(t *testing.T) {
+	u := gpu.Uniform(3)
+	if u.GPUs() != 3 || u.Factor(0, 1) != 1 || u.Factor(2, 2) != 0 {
+		t.Fatalf("uniform topology wrong: %+v", u)
+	}
+	tl := gpu.TwoLevel(2, 2, 4)
+	if tl.GPUs() != 4 {
+		t.Fatalf("two-level GPUs = %d", tl.GPUs())
+	}
+	cases := []struct {
+		a, b int
+		want float64
+	}{
+		{0, 1, 1}, {2, 3, 1}, // intra-node
+		{0, 2, 4}, {1, 3, 4}, {0, 3, 4}, // inter-node
+		{1, 1, 0},
+	}
+	for _, c := range cases {
+		if got := tl.Factor(c.a, c.b); got != c.want {
+			t.Errorf("Factor(%d,%d) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestWithTopologyScalesComm(t *testing.T) {
+	g := buildPair(t)
+	base := FromGraph(g, DefaultContention())
+	tm := WithTopology(base, gpu.TwoLevel(2, 1, 5))
+	if got := tm.CommTimeBetween(0, 1, 0, 0); got != 0 {
+		t.Fatalf("same-GPU comm = %g", got)
+	}
+	// Two GPUs = two one-GPU nodes: the only cross pair is inter-node.
+	if got, want := tm.CommTimeBetween(0, 1, 0, 1), 0.5*5.0; got != want {
+		t.Fatalf("inter-node comm = %g, want %g", got, want)
+	}
+	// The base interface still reports the baseline.
+	if tm.CommTime(0, 1) != 0.5 {
+		t.Fatalf("baseline comm changed: %g", tm.CommTime(0, 1))
+	}
+}
+
+func TestCommBetweenDispatch(t *testing.T) {
+	g := buildPair(t)
+	base := FromGraph(g, DefaultContention())
+	// Plain model: flat cost for any cross pair.
+	if got := CommBetween(base, 0, 1, 0, 3); got != 0.5 {
+		t.Fatalf("plain dispatch = %g", got)
+	}
+	if got := CommBetween(base, 0, 1, 2, 2); got != 0 {
+		t.Fatalf("same-GPU dispatch = %g", got)
+	}
+	// Topology model: scaled.
+	tm := WithTopology(base, gpu.TwoLevel(2, 2, 3))
+	if got := CommBetween(tm, 0, 1, 0, 3); got != 1.5 {
+		t.Fatalf("topology dispatch = %g", got)
+	}
+	if got := CommBetween(tm, 0, 1, 0, 1); got != 0.5 {
+		t.Fatalf("intra-node dispatch = %g", got)
+	}
+}
+
+func TestUniformTopologyIsTransparent(t *testing.T) {
+	g := buildPair(t)
+	base := FromGraph(g, DefaultContention())
+	tm := WithTopology(base, gpu.Uniform(4))
+	for gu := 0; gu < 4; gu++ {
+		for gv := 0; gv < 4; gv++ {
+			want := 0.0
+			if gu != gv {
+				want = base.CommTime(0, 1)
+			}
+			if got := tm.CommTimeBetween(0, 1, gu, gv); got != want {
+				t.Fatalf("uniform(%d,%d) = %g, want %g", gu, gv, got, want)
+			}
+		}
+	}
+	_ = graph.OpID(0)
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import "testing"
+
+func TestAblationWindowMonotone(t *testing.T) {
+	opt := SimOptions{Seeds: 2, GPUs: 4}
+	fig, err := AblationWindow(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fig.Series[0].Points
+	if len(pts) < 3 {
+		t.Fatalf("points = %v", pts)
+	}
+	// Every w >= 2 must improve on w = 1 (the pass commits only
+	// improvements over the inter-GPU-only schedule). Across w values
+	// the curve need not be monotone: the pass is greedy and a wide
+	// early fusion can foreclose better narrow ones.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Mean >= pts[0].Mean {
+			t.Fatalf("w=%g (%g) not better than w=1 (%g)", pts[i].X, pts[i].Mean, pts[0].Mean)
+		}
+	}
+}
+
+func TestAblationIOSPruningImproves(t *testing.T) {
+	opt := SimOptions{Seeds: 1, GPUs: 4}
+	fig, err := AblationIOSPruning(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fig.Series[0].Points
+	first, last := pts[0].Mean, pts[len(pts)-1].Mean
+	// A wider prune window can only help (more candidate stages); the
+	// beam makes strict monotonicity unguaranteed point to point, but
+	// end to end the widest setting must not be worse.
+	if last > first+1e-9 {
+		t.Fatalf("widest pruning (%g) worse than narrowest (%g)", last, first)
+	}
+}
+
+func TestAblationLinkContention(t *testing.T) {
+	fig, err := AblationLinkContention(Inception, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lpPenalty, mrPenalty float64
+	for _, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %s has %d points", s.Label, len(s.Points))
+		}
+		ideal, serialized := s.Points[0].Mean, s.Points[1].Mean
+		if serialized < ideal-1e-9 {
+			t.Fatalf("%s: serialization sped things up: %g -> %g", s.Label, ideal, serialized)
+		}
+		switch s.Label {
+		case AlgoHIOSLP:
+			lpPenalty = serialized - ideal
+		case AlgoHIOSMR:
+			mrPenalty = serialized - ideal
+		}
+	}
+	// The mechanism behind the paper's LP>MR gap: MR's scattered
+	// placement pays more for the shared bridge.
+	if mrPenalty < lpPenalty {
+		t.Fatalf("expected HIOS-MR to pay more for link contention: LP %g vs MR %g", lpPenalty, mrPenalty)
+	}
+}
+
+func TestNCCLOverlapHelpsLP(t *testing.T) {
+	fig, err := NCCLOverlap(NASNet, 331)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lpMPI, lpNCCL float64
+	for _, s := range fig.Series {
+		if s.Label == AlgoHIOSLP {
+			lpMPI, lpNCCL = s.Points[0].Mean, s.Points[1].Mean
+		}
+	}
+	if lpMPI == 0 || lpNCCL == 0 {
+		t.Fatalf("missing HIOS-LP series: %+v", fig.Series)
+	}
+	// The §VI-E hypothesis: cheaper per-message software latency
+	// shrinks HIOS-LP's latency on the transfer-heavy NASNet.
+	if lpNCCL >= lpMPI {
+		t.Fatalf("NCCL-style transfers did not help HIOS-LP: %g vs %g", lpNCCL, lpMPI)
+	}
+}
+
+func TestOptimalityGap(t *testing.T) {
+	fig, err := OptimalityGap(4, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Mean < 1-1e-9 {
+				t.Fatalf("%s at M=%g: ratio %g below 1 — heuristic beat the optimum", s.Label, p.X, p.Mean)
+			}
+			if p.Mean > 2 {
+				t.Fatalf("%s at M=%g: ratio %g implausibly large", s.Label, p.X, p.Mean)
+			}
+		}
+	}
+	if _, err := OptimalityGap(1, 100); err == nil {
+		t.Fatal("accepted an oversized optimality-gap study")
+	}
+}
+
+func TestClusterStudy(t *testing.T) {
+	fig, err := ClusterStudy(SimOptions{Seeds: 2, GPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aware, blind *Series
+	for i := range fig.Series {
+		switch fig.Series[i].Label {
+		case "hios-lp-topology-aware":
+			aware = &fig.Series[i]
+		case "hios-lp-topology-blind":
+			blind = &fig.Series[i]
+		}
+	}
+	if aware == nil || blind == nil {
+		t.Fatalf("series missing: %v", fig.Labels())
+	}
+	for i := range aware.Points {
+		a, b := aware.Points[i].Mean, blind.Points[i].Mean
+		// LP is greedy, so awareness is not a per-instance guarantee;
+		// allow 3% slack at intermediate factors.
+		if a > b*1.03 {
+			t.Fatalf("factor %g: topology-aware (%g) clearly worse than blind (%g)",
+				aware.Points[i].X, a, b)
+		}
+	}
+	// At factor 1 the platform is flat: aware == blind.
+	if d := aware.Points[0].Mean - blind.Points[0].Mean; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("factor 1 should be identical: %g vs %g", aware.Points[0].Mean, blind.Points[0].Mean)
+	}
+	// At the largest factor the gap must be visible.
+	last := len(aware.Points) - 1
+	if blind.Points[last].Mean <= aware.Points[last].Mean {
+		t.Fatalf("no awareness gain at factor %g", aware.Points[last].X)
+	}
+}
+
+func TestAblationIntraGPU(t *testing.T) {
+	fig, err := AblationIntraGPU(SimOptions{Seeds: 2, GPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(label string) float64 {
+		for _, s := range fig.Series {
+			if s.Label == label {
+				return s.Points[0].Mean
+			}
+		}
+		t.Fatalf("series %q missing: %v", label, fig.Labels())
+		return 0
+	}
+	none := get("none")
+	alg2 := get("algorithm-2")
+	perGPU := get("per-gpu-ios")
+	// Both intra-GPU strategies only commit improvements.
+	if alg2 > none+1e-9 || perGPU > none+1e-9 {
+		t.Fatalf("intra passes made things worse: none=%g alg2=%g ios=%g", none, alg2, perGPU)
+	}
+	if alg2 >= none && perGPU >= none {
+		t.Fatalf("no intra-GPU strategy gained anything: none=%g alg2=%g ios=%g", none, alg2, perGPU)
+	}
+}

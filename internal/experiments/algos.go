@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/sched"
+	"github.com/shus-lab/hios/internal/sched/ios"
+	"github.com/shus-lab/hios/internal/sched/lp"
+	"github.com/shus-lab/hios/internal/sched/mr"
+	"github.com/shus-lab/hios/internal/sched/seq"
+)
+
+// Algorithm labels, matching the paper's legends (§V-B).
+const (
+	AlgoSequential = "sequential"
+	AlgoIOS        = "ios"
+	AlgoHIOSLP     = "hios-lp"
+	AlgoHIOSMR     = "hios-mr"
+	AlgoInterLP    = "inter-gpu-lp"
+	AlgoInterMR    = "inter-gpu-mr"
+)
+
+// AllAlgorithms is the six-way comparison of the simulation study.
+var AllAlgorithms = []string{
+	AlgoSequential, AlgoIOS, AlgoHIOSLP, AlgoHIOSMR, AlgoInterLP, AlgoInterMR,
+}
+
+// RealSystemAlgorithms is the four-way comparison of Fig. 12.
+var RealSystemAlgorithms = []string{AlgoSequential, AlgoIOS, AlgoHIOSLP, AlgoHIOSMR}
+
+// RunConfig parameterizes an algorithm comparison run.
+type RunConfig struct {
+	// GPUs is M for the multi-GPU schedulers.
+	GPUs int
+	// Window is the sliding-window size w; zero selects the default.
+	Window int
+	// IOS carries the IOS pruning parameters; the zero value selects
+	// defaults.
+	IOS ios.Options
+}
+
+// Run executes the named algorithm on g under cost model m.
+func Run(algo string, g *graph.Graph, m cost.Model, cfg RunConfig) (sched.Result, error) {
+	switch algo {
+	case AlgoSequential:
+		return seq.Schedule(g, m)
+	case AlgoIOS:
+		return ios.Schedule(g, m, cfg.IOS)
+	case AlgoHIOSLP:
+		return lp.Schedule(g, m, lp.Options{GPUs: cfg.GPUs, Window: cfg.Window})
+	case AlgoHIOSMR:
+		return mr.Schedule(g, m, mr.Options{GPUs: cfg.GPUs, Window: cfg.Window})
+	case AlgoInterLP:
+		return lp.Schedule(g, m, lp.Options{GPUs: cfg.GPUs, InterOnly: true})
+	case AlgoInterMR:
+		return mr.Schedule(g, m, mr.Options{GPUs: cfg.GPUs, InterOnly: true})
+	default:
+		return sched.Result{}, fmt.Errorf("experiments: unknown algorithm %q", algo)
+	}
+}

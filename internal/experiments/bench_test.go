@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/gpu"
+	"github.com/shus-lab/hios/internal/randdag"
+)
+
+// Scheduler micro-benchmarks on the paper's default random model (200
+// operators, 14 layers, 400 dependencies) — the per-algorithm cost side
+// of the Fig. 14 story, without profiling.
+
+func benchGraphAndModel() (cfg randdag.Config) {
+	cfg = randdag.Paper()
+	cfg.Seed = 7
+	return cfg
+}
+
+func benchAlgo(b *testing.B, algo string, gpus int) {
+	g := randdag.MustGenerate(benchGraphAndModel())
+	m := cost.FromGraph(g, cost.DefaultContention())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(algo, g, m, RunConfig{GPUs: gpus})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Latency, "latency-ms")
+		}
+	}
+}
+
+func BenchmarkSchedulerSequential(b *testing.B) { benchAlgo(b, AlgoSequential, 1) }
+func BenchmarkSchedulerIOS(b *testing.B)        { benchAlgo(b, AlgoIOS, 1) }
+func BenchmarkSchedulerHIOSLP4GPUs(b *testing.B) {
+	benchAlgo(b, AlgoHIOSLP, 4)
+}
+func BenchmarkSchedulerHIOSMR4GPUs(b *testing.B) {
+	benchAlgo(b, AlgoHIOSMR, 4)
+}
+func BenchmarkSchedulerInterLP4GPUs(b *testing.B) {
+	benchAlgo(b, AlgoInterLP, 4)
+}
+func BenchmarkSchedulerHIOSLP12GPUs(b *testing.B) {
+	benchAlgo(b, AlgoHIOSLP, 12)
+}
+
+// BenchmarkSchedulerHIOSLPInception runs HIOS-LP on the real Inception-v3
+// graph: the scheduling-cost half of Fig. 14 at the default input.
+func BenchmarkSchedulerHIOSLPInception(b *testing.B) {
+	plat := benchPlatform()
+	net, err := BuildBenchmark(Inception, plat, 299)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := cost.FromGraph(net.G, cost.DefaultContention())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(AlgoHIOSLP, net.G, m, RunConfig{GPUs: plat.GPUs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerIOSNASNet runs IOS on NASNet-A: the paper's heaviest
+// scheduling workload (374 operators).
+func BenchmarkSchedulerIOSNASNet(b *testing.B) {
+	plat := benchPlatform()
+	net, err := BuildBenchmark(NASNet, plat, 331)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := cost.FromGraph(net.G, cost.DefaultContention())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(AlgoIOS, net.G, m, RunConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPlatform() gpu.Platform { return gpu.DualA40() }

@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/gpu"
+	"github.com/shus-lab/hios/internal/randdag"
+	"github.com/shus-lab/hios/internal/sched"
+)
+
+// fastSim keeps sweeps quick in tests; the cmd binaries run the paper's
+// full 30 seeds.
+func fastSim() SimOptions { return SimOptions{Seeds: 3, GPUs: 4} }
+
+func TestRunDispatchesAllAlgorithms(t *testing.T) {
+	cfg := randdag.Paper()
+	cfg.Ops, cfg.Layers, cfg.Deps, cfg.Seed = 30, 5, 60, 1
+	g := randdag.MustGenerate(cfg)
+	m := cost.FromGraph(g, cost.DefaultContention())
+	for _, a := range AllAlgorithms {
+		res, err := Run(a, g, m, RunConfig{GPUs: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if err := sched.Validate(g, res.Schedule); err != nil {
+			t.Fatalf("%s: invalid schedule: %v", a, err)
+		}
+	}
+	if _, err := Run("nonsense", g, m, RunConfig{GPUs: 2}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	fig := Fig1()
+	// Below the crossover concurrency must win (ratio > 1); above it,
+	// lose (ratio < 1) — the paper's crossover is between 64 and 128.
+	for _, p := range fig.Series[0].Points {
+		if p.X <= 64 && p.Mean <= 1 {
+			t.Fatalf("size %g: ratio %g, want > 1 (concurrency should win)", p.X, p.Mean)
+		}
+		if p.X >= 128 && p.Mean >= 1 {
+			t.Fatalf("size %g: ratio %g, want < 1 (contention should lose)", p.X, p.Mean)
+		}
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	fig := Fig2()
+	if len(fig.Series) != 3 {
+		t.Fatalf("Fig2 series = %d, want 3 platforms", len(fig.Series))
+	}
+	var nvlink, pcie *Series
+	for i := range fig.Series {
+		if strings.Contains(fig.Series[i].Label, "V100S") {
+			pcie = &fig.Series[i]
+		}
+		if strings.Contains(fig.Series[i].Label, "A40") {
+			nvlink = &fig.Series[i]
+		}
+	}
+	if nvlink == nil || pcie == nil {
+		t.Fatalf("platform series missing: %v", fig.Labels())
+	}
+	for i := range nvlink.Points {
+		if pcie.Points[i].Mean <= nvlink.Points[i].Mean {
+			t.Fatalf("size %g: PCIe ratio %g not above NVLink %g",
+				nvlink.Points[i].X, pcie.Points[i].Mean, nvlink.Points[i].Mean)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	fig, err := Fig7(fastSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential and IOS are single-GPU: flat in the GPU count.
+	seq2, _ := fig.At(AlgoSequential, 2)
+	seq12, _ := fig.At(AlgoSequential, 12)
+	if seq2 != seq12 {
+		t.Fatalf("sequential latency varies with GPU count: %g vs %g", seq2, seq12)
+	}
+	// HIOS-LP must scale: latency at 12 GPUs clearly below 2 GPUs, and
+	// speedup over sequential must grow past 2x (the paper reaches
+	// 3.8x).
+	lp2, _ := fig.At(AlgoHIOSLP, 2)
+	lp12, _ := fig.At(AlgoHIOSLP, 12)
+	if lp12 >= lp2 {
+		t.Fatalf("HIOS-LP does not scale with GPUs: %g -> %g", lp2, lp12)
+	}
+	if seq12/lp12 < 2 {
+		t.Fatalf("HIOS-LP speedup at 12 GPUs = %g, want > 2", seq12/lp12)
+	}
+	// HIOS-LP must clearly beat HIOS-MR at high GPU counts (Fig. 7's
+	// headline: MR plateaus, LP keeps scaling).
+	mr12, _ := fig.At(AlgoHIOSMR, 12)
+	if lp12 >= mr12 {
+		t.Fatalf("HIOS-LP (%g) not ahead of HIOS-MR (%g) at 12 GPUs", lp12, mr12)
+	}
+	// IOS beats sequential but not the multi-GPU schedulers.
+	ios12, _ := fig.At(AlgoIOS, 12)
+	if ios12 >= seq12 {
+		t.Fatalf("IOS (%g) not better than sequential (%g)", ios12, seq12)
+	}
+	if lp12 >= ios12 {
+		t.Fatalf("HIOS-LP (%g) not better than IOS (%g) at 12 GPUs", lp12, ios12)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	opt := fastSim()
+	fig, err := Fig8(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency grows with the operator count for every algorithm, and
+	// HIOS-LP stays around 2x faster than sequential across sizes
+	// (paper: 2.01-2.12).
+	for _, x := range []float64{100, 400} {
+		seq, _ := fig.At(AlgoSequential, x)
+		lp, _ := fig.At(AlgoHIOSLP, x)
+		if sp := seq / lp; sp < 1.5 {
+			t.Fatalf("ops=%g: HIOS-LP speedup %g, want >= 1.5", x, sp)
+		}
+		inter, _ := fig.At(AlgoInterLP, x)
+		if lp > inter+1e-9 {
+			t.Fatalf("ops=%g: intra pass hurt inter-LP: %g vs %g", x, lp, inter)
+		}
+	}
+	seq100, _ := fig.At(AlgoSequential, 100)
+	seq400, _ := fig.At(AlgoSequential, 400)
+	if seq400 <= seq100 {
+		t.Fatalf("sequential latency should grow with ops: %g -> %g", seq100, seq400)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	opt := fastSim()
+	opt.Seeds = 6
+	fig, err := Fig9(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the paper the HIOS-LP speedup over sequential declines with
+	// the dependency count (2.06 -> 1.64). Our random instances stay
+	// load-bound at 4 GPUs, so the decline flattens out (documented in
+	// EXPERIMENTS.md); the reproducible invariants are that the speedup
+	// does not GROW with dependencies (within noise), that it stays
+	// comfortably above 1, and that the single-GPU baselines are flat.
+	seqA, _ := fig.At(AlgoSequential, 400)
+	lpA, _ := fig.At(AlgoHIOSLP, 400)
+	seqB, _ := fig.At(AlgoSequential, 600)
+	lpB, _ := fig.At(AlgoHIOSLP, 600)
+	spA, spB := seqA/lpA, seqB/lpB
+	if spB >= spA*1.05 {
+		t.Fatalf("HIOS-LP speedup should not grow with dependencies: %g -> %g", spA, spB)
+	}
+	if spA < 1.3 {
+		t.Fatalf("HIOS-LP speedup at 400 deps = %g, want >= 1.3", spA)
+	}
+	if rel := seqA / seqB; rel < 0.999 || rel > 1.001 {
+		t.Fatalf("sequential baseline should ignore dependency count: %g vs %g", seqA, seqB)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	fig, err := Fig10(fastSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewer layers means a wider graph; HIOS-LP should exploit it:
+	// latency at 6 layers below latency at 22 layers (paper: 174 vs
+	// 233 ms). Sequential stays flat-ish (same op-time budget).
+	lp6, _ := fig.At(AlgoHIOSLP, 6)
+	lp22, _ := fig.At(AlgoHIOSLP, 22)
+	if lp6 >= lp22 {
+		t.Fatalf("HIOS-LP should improve on wider graphs: %g (6 layers) vs %g (22)", lp6, lp22)
+	}
+	seq6, _ := fig.At(AlgoSequential, 6)
+	seq22, _ := fig.At(AlgoSequential, 22)
+	if rel := seq6 / seq22; rel < 0.9 || rel > 1.1 {
+		t.Fatalf("sequential latency should be roughly flat across layers: %g vs %g", seq6, seq22)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	fig, err := Fig11(fastSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rising communication cost erodes the multi-GPU advantage: the
+	// HIOS-LP/sequential speedup falls from p=0.4 to p=1.2 (paper: 2.23
+	// down to 1.78).
+	seqA, _ := fig.At(AlgoSequential, 0.4)
+	lpA, _ := fig.At(AlgoHIOSLP, 0.4)
+	seqB, _ := fig.At(AlgoSequential, 1.2)
+	lpB, _ := fig.At(AlgoHIOSLP, 1.2)
+	if seqB/lpB >= seqA/lpA {
+		t.Fatalf("HIOS-LP speedup should fall with p: %g -> %g", seqA/lpA, seqB/lpB)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	// Small sweep for speed: default and one large size per benchmark.
+	fig, err := Fig12(Inception, []int{299, 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the large size, HIOS-LP must beat both IOS and sequential
+	// (paper: up to 16.5% over IOS), and HIOS-LP must beat HIOS-MR.
+	seq, _ := fig.At(AlgoSequential, 2048)
+	ios, _ := fig.At(AlgoIOS, 2048)
+	lp, _ := fig.At(AlgoHIOSLP, 2048)
+	mr, _ := fig.At(AlgoHIOSMR, 2048)
+	if lp >= ios || lp >= seq {
+		t.Fatalf("large input: HIOS-LP (%g) should beat IOS (%g) and sequential (%g)", lp, ios, seq)
+	}
+	if lp >= mr {
+		t.Fatalf("large input: HIOS-LP (%g) should beat HIOS-MR (%g)", lp, mr)
+	}
+	// At the default size the schedulers are competitive: HIOS-LP within
+	// ~15% of IOS either way (the paper sees -3% to +16% swings).
+	iosS, _ := fig.At(AlgoIOS, 299)
+	lpS, _ := fig.At(AlgoHIOSLP, 299)
+	if lpS > iosS*1.2 {
+		t.Fatalf("small input: HIOS-LP (%g) too far behind IOS (%g)", lpS, iosS)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	fig, err := Fig14(Inception, []int{299, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scheduling cost grows with input size for every algorithm, and
+	// IOS's profiling-heavy DP costs more than HIOS-LP at the large
+	// size (Fig. 14: IOS grows much faster).
+	iosS, _ := fig.At(AlgoIOS, 299)
+	iosL, _ := fig.At(AlgoIOS, 1024)
+	lpL, _ := fig.At(AlgoHIOSLP, 1024)
+	if iosL <= iosS {
+		t.Fatalf("IOS scheduling cost should grow with input size: %g -> %g", iosS, iosL)
+	}
+	if iosL <= lpL {
+		t.Fatalf("IOS cost (%g) should exceed HIOS-LP cost (%g) at large inputs", iosL, lpL)
+	}
+}
+
+func TestFigureRenderAndAt(t *testing.T) {
+	fig := Fig1()
+	out := fig.String()
+	if !strings.Contains(out, "Fig1") || !strings.Contains(out, "image_size") {
+		t.Fatalf("render missing headers:\n%s", out)
+	}
+	if _, ok := fig.At("A40", 8); !ok {
+		t.Fatal("At failed to find an existing point")
+	}
+	if _, ok := fig.At("A40", 9999); ok {
+		t.Fatal("At invented a point")
+	}
+	if _, ok := fig.At("nope", 8); ok {
+		t.Fatal("At invented a series")
+	}
+	if len(fig.Labels()) != 1 {
+		t.Fatalf("labels = %v", fig.Labels())
+	}
+}
+
+func TestMeasureSchedulingCostBreakdown(t *testing.T) {
+	c, err := MeasureSchedulingCost(AlgoHIOSLP, Inception, 299)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ProfilingMs <= 0 || c.Probes <= 0 {
+		t.Fatalf("profiling accounting empty: %+v", c)
+	}
+	if c.TotalMs() < c.ProfilingMs {
+		t.Fatalf("total below profiling: %+v", c)
+	}
+}
+
+func TestBuildBenchmarkRejectsUnknown(t *testing.T) {
+	if _, err := BuildBenchmark(Benchmark("bogus"), gpu.DualA40(), 299); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFig13Scenarios(t *testing.T) {
+	fig, labels, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 4 {
+		t.Fatalf("labels = %v", labels)
+	}
+	// Inter-GPU LP should deliver most of HIOS-LP's gain at large
+	// inputs (paper §VI-E: 98.2% for Inception-large, ~100% for
+	// NASNet).
+	for _, x := range []float64{1, 3} { // large-input scenarios
+		seq, _ := fig.At(AlgoSequential, x)
+		lp, _ := fig.At(AlgoHIOSLP, x)
+		inter, _ := fig.At(AlgoInterLP, x)
+		gainFull := seq - lp
+		gainInter := seq - inter
+		if gainFull <= 0 {
+			t.Fatalf("scenario %g: HIOS-LP gained nothing (%g vs %g)", x, lp, seq)
+		}
+		if gainInter < 0.5*gainFull {
+			t.Fatalf("scenario %g: inter-GPU share of gain too small: %g of %g", x, gainInter, gainFull)
+		}
+	}
+}
+
+func TestFigureRenderJSON(t *testing.T) {
+	fig := Fig1()
+	var b strings.Builder
+	if err := fig.RenderJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Figure
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("RenderJSON output is not valid JSON: %v", err)
+	}
+	if back.ID != fig.ID || len(back.Series) != len(fig.Series) {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+}

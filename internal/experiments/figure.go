@@ -1,0 +1,119 @@
+// Package experiments regenerates every figure of the HIOS paper's
+// evaluation (§V simulation, §VI real-system experiments) against this
+// repository's simulated substrate. Each FigNN function returns a Figure —
+// the same series the paper plots — which cmd/hios-sim and cmd/hios-exp
+// print and bench_test.go exercises.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/shus-lab/hios/internal/stats"
+)
+
+// Point is one x position of one series.
+type Point struct {
+	X    float64
+	Mean float64
+	Std  float64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is one reproduced paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// At returns the mean of the labelled series at x, and whether it exists.
+func (f *Figure) At(label string, x float64) (float64, bool) {
+	for _, s := range f.Series {
+		if s.Label != label {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.X == x {
+				return p.Mean, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Labels returns the series labels in order.
+func (f *Figure) Labels() []string {
+	out := make([]string, len(f.Series))
+	for i, s := range f.Series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// Render writes the figure as an aligned text table, one row per x value.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "# %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "# x = %s, y = %s (mean±std)\n", f.XLabel, f.YLabel)
+	if len(f.Series) == 0 {
+		fmt.Fprintln(w, "(empty)")
+		return
+	}
+	header := fmt.Sprintf("%-10s", f.XLabel)
+	for _, s := range f.Series {
+		header += fmt.Sprintf("  %-22s", s.Label)
+	}
+	fmt.Fprintln(w, strings.TrimRight(header, " "))
+	for i, p := range f.Series[0].Points {
+		row := fmt.Sprintf("%-10.4g", p.X)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				cell := fmt.Sprintf("%.4g", s.Points[i].Mean)
+				if s.Points[i].Std > 0 {
+					cell += fmt.Sprintf("±%.3g", s.Points[i].Std)
+				}
+				row += fmt.Sprintf("  %-22s", cell)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(row, " "))
+	}
+}
+
+// String renders the figure to a string.
+func (f *Figure) String() string {
+	var b strings.Builder
+	f.Render(&b)
+	return b.String()
+}
+
+// RenderJSON writes the figure as indented JSON, for machine consumption
+// (plotting scripts, CI dashboards).
+func (f *Figure) RenderJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}
+
+// collect turns per-x samples into a series.
+func collect(label string, xs []float64, samples []*stats.Sample) Series {
+	s := Series{Label: label}
+	for i, x := range xs {
+		s.Points = append(s.Points, Point{X: x, Mean: samples[i].Mean(), Std: samples[i].Std()})
+	}
+	return s
+}

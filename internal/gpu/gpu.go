@@ -1,0 +1,287 @@
+// Package gpu models the hardware of the paper's testbeds: GPU devices
+// (Nvidia A40, RTX A5500, Tesla V100S), their kernel execution behaviour,
+// and the interconnects between devices (NVLink bridge, NVSwitch, PCIe).
+//
+// The paper profiles real cuDNN kernels; this package substitutes an
+// analytic model with the same interface obligations:
+//
+//   - solo kernel latency (a roofline over compute and memory traffic,
+//     derated by achievable occupancy, plus launch overhead), feeding t(v);
+//   - a solo-utilization estimate feeding the concurrent-stage contention
+//     model in package cost, which reproduces the paper's Fig. 1: two
+//     small kernels overlap almost perfectly, two saturating kernels run
+//     slower concurrently than sequentially;
+//   - link transfer latency (per-message latency + bytes / bandwidth),
+//     feeding t(u, v) and reproducing Fig. 2's platform ordering (NVLink
+//     below PCIe).
+//
+// Absolute times are not calibrated against the authors' hardware; the
+// model is built so the *shapes* the scheduling study depends on hold.
+package gpu
+
+import "fmt"
+
+// Device describes one GPU model.
+type Device struct {
+	// Name identifies the device ("A40", ...).
+	Name string
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// CUDACores is the total core count (informational).
+	CUDACores int
+	// PeakGFLOPS is the theoretical fp32 throughput in GFLOP/s.
+	PeakGFLOPS float64
+	// MemBWGBs is the device memory bandwidth in GB/s.
+	MemBWGBs float64
+	// Efficiency is the fraction of peak throughput dense cuDNN kernels
+	// achieve at full occupancy.
+	Efficiency float64
+	// LaunchOverheadMs is the fixed CUDA kernel-launch cost in ms.
+	LaunchOverheadMs float64
+	// SaturationThreads is the number of concurrent output elements at
+	// which a kernel occupies the whole device. Kernels with fewer
+	// threads leave SMs idle (utilization < 1) and run at reduced
+	// throughput; this is the calibration point for the Fig. 1
+	// crossover (between 64x64 and 128x128 inputs for the 48-channel
+	// 5x5 convolution the paper measures).
+	SaturationThreads float64
+	// MinUtil floors the utilization estimate: even a tiny kernel
+	// occupies at least one SM.
+	MinUtil float64
+}
+
+// A40 returns the Nvidia Ampere A40 of the paper's main testbed
+// (Dell PowerEdge R750XA): 84 SMs, 10752 CUDA cores, 48 GB GDDR6 at
+// 696 GB/s, compute capability 8.6.
+func A40() Device {
+	return Device{
+		Name:              "A40",
+		SMs:               84,
+		CUDACores:         10752,
+		PeakGFLOPS:        37400,
+		MemBWGBs:          696,
+		Efficiency:        0.35,
+		LaunchOverheadMs:  0.005,
+		SaturationThreads: 480000,
+		MinUtil:           1.0 / 84,
+	}
+}
+
+// A5500 returns the Nvidia RTX A5500 of the paper's second dual-GPU
+// platform: 80 SMs, 10240 CUDA cores, 24 GB GDDR6 at 768 GB/s.
+func A5500() Device {
+	return Device{
+		Name:              "A5500",
+		SMs:               80,
+		CUDACores:         10240,
+		PeakGFLOPS:        34100,
+		MemBWGBs:          768,
+		Efficiency:        0.35,
+		LaunchOverheadMs:  0.005,
+		SaturationThreads: 460000,
+		MinUtil:           1.0 / 80,
+	}
+}
+
+// V100S returns the Nvidia Tesla V100S of the paper's PCIe platform:
+// 80 SMs, 5120 CUDA cores, 32 GB HBM2 at 1134 GB/s.
+func V100S() Device {
+	return Device{
+		Name:              "V100S",
+		SMs:               80,
+		CUDACores:         5120,
+		PeakGFLOPS:        16400,
+		MemBWGBs:          1134,
+		Efficiency:        0.35,
+		LaunchOverheadMs:  0.006,
+		SaturationThreads: 400000,
+		MinUtil:           1.0 / 80,
+	}
+}
+
+// Kernel characterizes one GPU kernel launch.
+type Kernel struct {
+	// FLOPs is the floating-point work of the kernel.
+	FLOPs float64
+	// Bytes is the device-memory traffic (reads + writes).
+	Bytes float64
+	// Threads is the number of independent output elements, which
+	// drives occupancy.
+	Threads float64
+}
+
+// Utilization estimates the fraction of the device the kernel occupies
+// when running alone: the ratio of its thread count to the device's
+// saturation point, clamped to [MinUtil, 1].
+func (d Device) Utilization(k Kernel) float64 {
+	if d.SaturationThreads <= 0 {
+		return 1
+	}
+	u := k.Threads / d.SaturationThreads
+	if u < d.MinUtil {
+		u = d.MinUtil
+	}
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Time estimates the kernel's solo execution latency in milliseconds:
+// launch overhead plus the roofline maximum of the compute time (derated
+// by occupancy — an under-occupied device sustains proportionally less
+// throughput) and the memory-traffic time.
+func (d Device) Time(k Kernel) float64 {
+	util := d.Utilization(k)
+	compute := 0.0
+	if k.FLOPs > 0 {
+		compute = k.FLOPs / (d.PeakGFLOPS * 1e9 * d.Efficiency * util) * 1e3
+	}
+	memory := 0.0
+	if k.Bytes > 0 {
+		memory = k.Bytes / (d.MemBWGBs * 1e9) * 1e3
+	}
+	t := compute
+	if memory > t {
+		t = memory
+	}
+	return d.LaunchOverheadMs + t
+}
+
+// Link models one inter-GPU interconnect.
+type Link struct {
+	// Name identifies the link kind.
+	Name string
+	// BandwidthGBs is the per-direction bandwidth in GB/s.
+	BandwidthGBs float64
+	// LatencyMs is the per-message latency in ms (software stack +
+	// wire), the floor of any transfer.
+	LatencyMs float64
+}
+
+// NVLinkBridge returns the paper's A40/A5500 pairing: one NVLink bridge
+// with 112.5 GB/s bidirectional bandwidth, i.e. 56.25 GB/s per direction.
+// The per-message latency models the full software path of the paper's
+// engine — a CUDA-aware MPI send/receive plus the launch of the dependent
+// kernel after transfer completion (§VI-E discusses exactly this
+// overhead) — not just the wire.
+func NVLinkBridge() Link {
+	return Link{Name: "NVLink bridge", BandwidthGBs: 56.25, LatencyMs: 0.02}
+}
+
+// NVSwitch returns a full NVSwitch fabric (DGX-class): 300 GB/s per
+// direction per GPU, same MPI software latency as the bridge.
+func NVSwitch() Link {
+	return Link{Name: "NVSwitch", BandwidthGBs: 300, LatencyMs: 0.02}
+}
+
+// PCIe3 returns a PCIe Gen3 x16 interface: ~12 GB/s effective after
+// protocol overhead, with a higher software latency than NVLink.
+func PCIe3() Link {
+	return Link{Name: "PCIe Gen3 x16", BandwidthGBs: 12, LatencyMs: 0.055}
+}
+
+// TransferTime returns the time in ms to move the given number of bytes
+// across the link.
+func (l Link) TransferTime(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return l.LatencyMs + bytes/(l.BandwidthGBs*1e9)*1e3
+}
+
+// Platform pairs a device model with an interconnect and a GPU count: one
+// experiment testbed.
+type Platform struct {
+	Name string
+	Dev  Device
+	Link Link
+	GPUs int
+}
+
+// DualA40 returns the paper's main experimental platform: two A40s joined
+// by an NVLink bridge (Dell PowerEdge R750XA).
+func DualA40() Platform {
+	return Platform{Name: "2x A40 + NVLink", Dev: A40(), Link: NVLinkBridge(), GPUs: 2}
+}
+
+// DualA5500 returns the paper's second platform: two RTX A5500s with an
+// NVLink bridge.
+func DualA5500() Platform {
+	return Platform{Name: "2x A5500 + NVLink", Dev: A5500(), Link: NVLinkBridge(), GPUs: 2}
+}
+
+// DualV100S returns the paper's PCIe platform: two Tesla V100S over PCIe
+// Gen3.
+func DualV100S() Platform {
+	return Platform{Name: "2x V100S + PCIe3", Dev: V100S(), Link: PCIe3(), GPUs: 2}
+}
+
+// Cluster returns an M-GPU A40 node with an NVSwitch fabric, used by the
+// simulation sweeps that scale past two devices.
+func Cluster(m int) Platform {
+	return Platform{Name: "A40 NVSwitch node", Dev: A40(), Link: NVSwitch(), GPUs: m}
+}
+
+// Topology describes a non-uniform interconnect between GPUs: clusters
+// and multi-node servers (§I of the paper) have fast intra-node links and
+// slower inter-node networking, so the transfer time of a tensor depends
+// on WHICH pair of GPUs exchanges it, not just its size. Factors holds a
+// multiplier per GPU pair applied to the baseline (intra-node) transfer
+// time; the diagonal is zero.
+type Topology struct {
+	Name    string
+	Factors [][]float64
+}
+
+// GPUs returns the device count.
+func (t Topology) GPUs() int { return len(t.Factors) }
+
+// Factor returns the transfer-time multiplier between two devices
+// (0 for a device talking to itself).
+func (t Topology) Factor(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	return t.Factors[a][b]
+}
+
+// Uniform returns the flat topology of the paper's SMP formulation: every
+// pair communicates at the baseline cost.
+func Uniform(gpus int) Topology {
+	t := Topology{Name: "uniform", Factors: make([][]float64, gpus)}
+	for i := range t.Factors {
+		t.Factors[i] = make([]float64, gpus)
+		for j := range t.Factors[i] {
+			if i != j {
+				t.Factors[i][j] = 1
+			}
+		}
+	}
+	return t
+}
+
+// TwoLevel returns a hierarchical cluster: nodes x gpusPerNode devices,
+// intra-node pairs at the baseline cost and inter-node pairs at
+// interFactor times it (e.g. NVSwitch inside a node and InfiniBand
+// between nodes at several times the transfer time).
+func TwoLevel(nodes, gpusPerNode int, interFactor float64) Topology {
+	n := nodes * gpusPerNode
+	t := Topology{
+		Name:    fmt.Sprintf("%dx%d two-level", nodes, gpusPerNode),
+		Factors: make([][]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		t.Factors[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+			case i/gpusPerNode == j/gpusPerNode:
+				t.Factors[i][j] = 1
+			default:
+				t.Factors[i][j] = interFactor
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,147 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// paperConv characterizes the paper's Fig. 1/2 probe kernel: a 5x5
+// stride-1 convolution over 48 input channels (48 output channels assumed)
+// at the given square image size.
+func paperConv(size int) Kernel {
+	out := float64(48 * size * size)
+	return Kernel{
+		FLOPs:   2 * 5 * 5 * 48 * out,
+		Bytes:   4 * (48*float64(size*size) + 5*5*48*48 + out),
+		Threads: out,
+	}
+}
+
+func TestUtilizationMonotoneAndClamped(t *testing.T) {
+	d := A40()
+	prev := 0.0
+	for _, size := range []int{8, 16, 32, 64, 128, 256, 512, 1024} {
+		u := d.Utilization(paperConv(size))
+		if u < prev {
+			t.Fatalf("utilization decreased at %d: %g < %g", size, u, prev)
+		}
+		if u < d.MinUtil || u > 1 {
+			t.Fatalf("utilization %g out of range at %d", u, size)
+		}
+		prev = u
+	}
+	if d.Utilization(paperConv(1024)) != 1 {
+		t.Fatal("a 1024px conv must saturate the device")
+	}
+	if u := d.Utilization(Kernel{Threads: 1}); u != d.MinUtil {
+		t.Fatalf("tiny kernel utilization = %g, want MinUtil", u)
+	}
+}
+
+func TestFig1CrossoverCalibration(t *testing.T) {
+	// Fig. 1: two identical convolutions run FASTER concurrently than
+	// sequentially for inputs up to 64x64 and SLOWER from 128x128 on.
+	// The crossover of the contention model 2u(1+alpha(2u-1)) = 2 with
+	// alpha = 0.2 sits at u ~ 0.87, so the calibration requirement is
+	// util(64) < 0.87 < util(128).
+	d := A40()
+	if u := d.Utilization(paperConv(64)); u >= 0.87 {
+		t.Fatalf("util(64) = %g, must be below crossover", u)
+	}
+	if u := d.Utilization(paperConv(128)); u <= 0.87 {
+		t.Fatalf("util(128) = %g, must be above crossover", u)
+	}
+}
+
+func TestKernelTimeGrowsWithWork(t *testing.T) {
+	d := A40()
+	prev := 0.0
+	for _, size := range []int{8, 32, 128, 512} {
+		tt := d.Time(paperConv(size))
+		if tt <= prev {
+			t.Fatalf("time not increasing at %d: %g <= %g", size, tt, prev)
+		}
+		prev = tt
+	}
+}
+
+func TestKernelTimeHasLaunchFloor(t *testing.T) {
+	d := A40()
+	if tt := d.Time(Kernel{}); tt != d.LaunchOverheadMs {
+		t.Fatalf("empty kernel time = %g, want launch overhead %g", tt, d.LaunchOverheadMs)
+	}
+}
+
+func TestDevicePresetsSane(t *testing.T) {
+	for _, d := range []Device{A40(), A5500(), V100S()} {
+		if d.SMs <= 0 || d.PeakGFLOPS <= 0 || d.MemBWGBs <= 0 || d.Efficiency <= 0 || d.Efficiency > 1 {
+			t.Fatalf("device %s has nonsense parameters: %+v", d.Name, d)
+		}
+	}
+	if A40().PeakGFLOPS <= V100S().PeakGFLOPS {
+		t.Fatal("A40 should out-compute V100S in fp32")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	l := NVLinkBridge()
+	if got := l.TransferTime(0); got != 0 {
+		t.Fatalf("zero bytes should cost nothing, got %g", got)
+	}
+	// 56.25 GB/s: 56.25e6 bytes per ms.
+	got := l.TransferTime(56.25e6)
+	want := l.LatencyMs + 1.0
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("transfer = %g, want %g", got, want)
+	}
+}
+
+func TestFig2PlatformOrdering(t *testing.T) {
+	// Fig. 2: the transfer/compute ratio on PCIe V100S must exceed the
+	// NVLink platforms at every probed size.
+	for _, size := range []int{64, 128, 256, 512, 1024} {
+		k := paperConv(size)
+		inputBytes := 4 * 48 * float64(size*size)
+		ratio := func(p Platform) float64 {
+			return p.Link.TransferTime(inputBytes) / p.Dev.Time(k)
+		}
+		a40 := ratio(DualA40())
+		a5500 := ratio(DualA5500())
+		v100 := ratio(DualV100S())
+		if v100 <= a40 || v100 <= a5500 {
+			t.Fatalf("size %d: PCIe ratio %g not above NVLink ratios %g/%g", size, v100, a40, a5500)
+		}
+	}
+}
+
+func TestClusterPlatform(t *testing.T) {
+	p := Cluster(8)
+	if p.GPUs != 8 || p.Dev.Name != "A40" {
+		t.Fatalf("Cluster = %+v", p)
+	}
+	if p.Link.BandwidthGBs <= NVLinkBridge().BandwidthGBs {
+		t.Fatal("NVSwitch should be faster than one NVLink bridge")
+	}
+}
+
+func TestTimeProperty(t *testing.T) {
+	// Time is positive, finite, and monotone in FLOPs.
+	d := A40()
+	f := func(flops, bytes, threads float64) bool {
+		abs := func(x float64) float64 {
+			if x < 0 {
+				return -x
+			}
+			return x
+		}
+		k := Kernel{FLOPs: abs(flops), Bytes: abs(bytes), Threads: abs(threads)}
+		t1 := d.Time(k)
+		k2 := k
+		k2.FLOPs *= 2
+		t2 := d.Time(k2)
+		return t1 >= d.LaunchOverheadMs && t2 >= t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

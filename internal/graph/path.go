@@ -1,0 +1,138 @@
+package graph
+
+// LongestValidPath implements the path extraction of HIOS-LP (Algorithm 1,
+// line 5 of the paper).
+//
+// Given the set of still-unscheduled operators G' (unscheduled[v] == true),
+// it finds the longest path P through unscheduled operators such that every
+// intermediate vertex of P — every vertex except the first and the last —
+// has no edge from or to any already-scheduled operator. The first and last
+// vertices may touch the scheduled region, and when they do, the heaviest
+// such boundary edge counts toward the path length (the paper's example
+// path P2 = {e2, v3, e4, v5, e6} includes the boundary edges e2 and e6).
+//
+// Path length is the sum of the execution times of the path's unscheduled
+// vertices plus the transfer times of all edges on the path, boundary edges
+// included: the path is measured at its worst-case placement, where every
+// adjacent pair would sit on different GPUs (§IV-A).
+//
+// The returned slice holds the unscheduled vertices of the path in
+// topological order, together with the path's length. If no unscheduled
+// vertex exists, it returns (nil, 0).
+//
+// Complexity: O(|V| + |E|) per call via dynamic programming over a
+// topological order, improving on the O(|V|²·|E|) bound the paper states.
+func (g *Graph) LongestValidPath(unscheduled []bool) ([]OpID, float64) {
+	n := len(g.ops)
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("graph: LongestValidPath on cyclic graph: " + err.Error())
+	}
+
+	// boundary[v]: v (unscheduled) has at least one edge to or from a
+	// scheduled vertex, so it may only appear as the path's first or
+	// last vertex.
+	// startBonus[v]: heaviest incoming edge from a scheduled vertex —
+	// claimable when v is the path's first vertex.
+	// endBonus[v]: heaviest outgoing edge to a scheduled vertex —
+	// claimable when v is the path's last vertex.
+	boundary := make([]bool, n)
+	startBonus := make([]float64, n)
+	endBonus := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if !unscheduled[v] {
+			continue
+		}
+		g.Preds(OpID(v), func(from OpID, transfer float64) {
+			if !unscheduled[from] {
+				boundary[v] = true
+				if transfer > startBonus[v] {
+					startBonus[v] = transfer
+				}
+			}
+		})
+		g.Succs(OpID(v), func(to OpID, transfer float64) {
+			if !unscheduled[to] {
+				boundary[v] = true
+				if transfer > endBonus[v] {
+					endBonus[v] = transfer
+				}
+			}
+		})
+	}
+
+	// ext[v]: length of the longest valid path ending at v in which every
+	// vertex except the path's first and v itself is interior-safe
+	// (non-boundary). Such a path can still be extended past v only if v
+	// itself is non-boundary; predecessors enforce that via extendFrom.
+	// parent[v]: predecessor of v on that path (None when v starts it).
+	ext := make([]float64, n)
+	parent := make([]OpID, n)
+	for i := range parent {
+		parent[i] = None
+	}
+
+	bestEnd := None
+	bestLen := 0.0
+	for _, v := range order {
+		if !unscheduled[v] {
+			continue
+		}
+		// Base case: the path starts at v; the incoming boundary edge
+		// (if any) counts because v is the first vertex.
+		ext[v] = g.ops[v].Time + startBonus[v]
+		g.Preds(v, func(from OpID, transfer float64) {
+			if !unscheduled[from] {
+				return
+			}
+			// Extending through `from` makes it an interior vertex
+			// of any longer path — unless `from` is the first
+			// vertex. A boundary predecessor may therefore only
+			// contribute as a path start: its usable length is the
+			// single-vertex path (with its own start bonus).
+			extendFrom := ext[from]
+			if boundary[from] {
+				extendFrom = g.ops[from].Time + startBonus[from]
+			}
+			if l := g.ops[v].Time + transfer + extendFrom; l > ext[v] {
+				ext[v] = l
+				parent[v] = from
+			}
+		})
+		// Candidate full path ending at v: add the outgoing boundary
+		// edge, since v is the last vertex.
+		if total := ext[v] + endBonus[v]; bestEnd == None || total > bestLen {
+			bestEnd, bestLen = v, total
+		}
+	}
+	if bestEnd == None {
+		return nil, 0
+	}
+
+	// Reconstruct. Note: if bestEnd's recorded parent chain passed
+	// through a boundary vertex, that vertex was charged as a path
+	// start, and the chain correctly terminates there because its
+	// parent pointer is only followed when ext (not the start-only
+	// length) was used. We must therefore cut the walk at the first
+	// boundary vertex after the end vertex.
+	var rev []OpID
+	v := bestEnd
+	for {
+		rev = append(rev, v)
+		p := parent[v]
+		if p == None {
+			break
+		}
+		if boundary[p] {
+			// p contributed as a path start; include it and stop.
+			rev = append(rev, p)
+			break
+		}
+		v = p
+	}
+	path := make([]OpID, len(rev))
+	for i, id := range rev {
+		path[len(rev)-1-i] = id
+	}
+	return path, bestLen
+}

@@ -1,0 +1,183 @@
+package graph
+
+// Reachable reports whether there is a directed path (of length >= 1) from
+// u to v. BFS over successors; O(|V| + |E|).
+func (g *Graph) Reachable(u, v OpID) bool {
+	if u == v {
+		return false
+	}
+	seen := make([]bool, len(g.ops))
+	queue := []OpID{u}
+	seen[u] = true
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		found := false
+		g.Succs(x, func(to OpID, _ float64) {
+			if found || seen[to] {
+				return
+			}
+			if to == v {
+				found = true
+				return
+			}
+			seen[to] = true
+			queue = append(queue, to)
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// Independent reports whether neither u reaches v nor v reaches u: the two
+// operators may execute concurrently without violating any data dependency.
+func (g *Graph) Independent(u, v OpID) bool {
+	return u != v && !g.Reachable(u, v) && !g.Reachable(v, u)
+}
+
+// AllIndependent reports whether the operators are pairwise independent.
+func (g *Graph) AllIndependent(ids []OpID) bool {
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if !g.Independent(ids[i], ids[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Contraction is a view of a graph in which groups of vertices have been
+// merged into single super-nodes, as done by Algorithm 2 when it fuses a
+// window of operators into one stage. It supports incremental grouping and
+// acyclicity checks without copying the underlying graph.
+type Contraction struct {
+	g *Graph
+	// rep[v] is the representative super-node of v (union-find with path
+	// compression; no ranks needed at these sizes).
+	rep []OpID
+	// extra holds additional edges between super-nodes that are not
+	// data edges of g: Algorithm 2's implicit dependencies, i.e. the
+	// sequential-order edges between consecutive stages on each GPU.
+	extra [][2]OpID
+}
+
+// NewContraction returns an identity contraction of g.
+func NewContraction(g *Graph) *Contraction {
+	rep := make([]OpID, g.NumOps())
+	for i := range rep {
+		rep[i] = OpID(i)
+	}
+	return &Contraction{g: g, rep: rep}
+}
+
+// Find returns the representative super-node of v.
+func (c *Contraction) Find(v OpID) OpID {
+	for c.rep[v] != v {
+		c.rep[v] = c.rep[c.rep[v]] // path halving
+		v = c.rep[v]
+	}
+	return v
+}
+
+// Group merges all the given vertices into one super-node (the group's
+// smallest representative wins, keeping results deterministic).
+func (c *Contraction) Group(ids []OpID) {
+	if len(ids) == 0 {
+		return
+	}
+	root := c.Find(ids[0])
+	for _, id := range ids[1:] {
+		r := c.Find(id)
+		if r < root {
+			c.rep[root] = r
+			root = r
+		} else if r != root {
+			c.rep[r] = root
+		}
+	}
+}
+
+// AddEdge records an extra (implicit) dependency from u's super-node to
+// v's super-node, such as per-GPU stage order.
+func (c *Contraction) AddEdge(u, v OpID) {
+	c.extra = append(c.extra, [2]OpID{u, v})
+}
+
+// SameGroup reports whether u and v currently share a super-node.
+func (c *Contraction) SameGroup(u, v OpID) bool { return c.Find(u) == c.Find(v) }
+
+// Clone returns an independent copy of the contraction (same underlying
+// graph). Used to trial a grouping before committing it.
+func (c *Contraction) Clone() *Contraction {
+	rep := make([]OpID, len(c.rep))
+	copy(rep, c.rep)
+	extra := make([][2]OpID, len(c.extra))
+	copy(extra, c.extra)
+	return &Contraction{g: c.g, rep: rep, extra: extra}
+}
+
+// Acyclic reports whether the contracted multigraph (data edges of the
+// underlying graph plus the extra edges, with grouped vertices merged) has
+// no directed cycle. Self-loops inside a group are ignored: members of one
+// stage are checked for independence separately.
+func (c *Contraction) Acyclic() bool {
+	n := c.g.NumOps()
+	// Build super-node adjacency. Representatives are a subset of 0..n-1.
+	adjSet := make(map[int64]struct{})
+	succ := make([][]OpID, n)
+	addEdge := func(u, v OpID) {
+		ru, rv := c.Find(u), c.Find(v)
+		if ru == rv {
+			return
+		}
+		key := int64(ru)*int64(n) + int64(rv)
+		if _, ok := adjSet[key]; ok {
+			return
+		}
+		adjSet[key] = struct{}{}
+		succ[ru] = append(succ[ru], rv)
+	}
+	for _, e := range c.g.Edges() {
+		addEdge(e.From, e.To)
+	}
+	for _, e := range c.extra {
+		addEdge(e[0], e[1])
+	}
+	// Kahn over representatives.
+	indeg := make([]int, n)
+	isRep := make([]bool, n)
+	nrep := 0
+	for v := 0; v < n; v++ {
+		if c.Find(OpID(v)) == OpID(v) {
+			isRep[v] = true
+			nrep++
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range succ[v] {
+			indeg[w]++
+		}
+	}
+	var ready []OpID
+	for v := 0; v < n; v++ {
+		if isRep[v] && indeg[v] == 0 {
+			ready = append(ready, OpID(v))
+		}
+	}
+	visited := 0
+	for len(ready) > 0 {
+		v := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		visited++
+		for _, w := range succ[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				ready = append(ready, w)
+			}
+		}
+	}
+	return visited == nrep
+}

@@ -1,0 +1,168 @@
+package graph
+
+import "sort"
+
+// TopoOrder returns a topological order of all operators (Kahn's algorithm,
+// smallest-ID-first for determinism). It returns ErrCycle if the graph is
+// not acyclic.
+func (g *Graph) TopoOrder() ([]OpID, error) {
+	n := len(g.ops)
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.pred[v])
+	}
+	// Min-heap on OpID keeps the order deterministic and stable across
+	// runs; a plain slice with sort is fine at these sizes.
+	ready := make([]OpID, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, OpID(v))
+		}
+	}
+	order := make([]OpID, 0, n)
+	for len(ready) > 0 {
+		// Pop the smallest ready ID.
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[best] {
+				best = i
+			}
+		}
+		v := ready[best]
+		ready[best] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, v)
+		for _, a := range g.succ[v] {
+			indeg[a.op]--
+			if indeg[a.op] == 0 {
+				ready = append(ready, a.op)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// PriorityIndicators computes p(v) for every operator: the length of the
+// longest path from v to a sink in the graph, where length counts both
+// vertex weights (execution times) and edge weights (transfer times),
+// including t(v) itself. Descending p(v) is a valid topological order when
+// all execution times are positive (HIOS relies on this; see §IV-A of the
+// paper).
+func (g *Graph) PriorityIndicators() []float64 {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("graph: PriorityIndicators on cyclic graph: " + err.Error())
+	}
+	p := make([]float64, len(g.ops))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		best := 0.0
+		g.Succs(v, func(to OpID, transfer float64) {
+			if l := transfer + p[to]; l > best {
+				best = l
+			}
+		})
+		p[v] = g.ops[v].Time + best
+	}
+	return p
+}
+
+// CriticalPathLength returns the length of the longest weighted path in the
+// graph (vertex + edge weights): max over sources of p(v). It upper-bounds
+// the best multi-GPU latency when every hop pays its transfer, and the
+// vertex-weight-only variant (see CriticalComputeLength) lower-bounds any
+// schedule's latency.
+func (g *Graph) CriticalPathLength() float64 {
+	p := g.PriorityIndicators()
+	best := 0.0
+	for _, x := range p {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+// CriticalComputeLength returns the longest path counting only vertex
+// weights (no transfer times). No schedule, on any number of GPUs, can beat
+// this latency, because dependent operators can never overlap.
+func (g *Graph) CriticalComputeLength() float64 {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("graph: CriticalComputeLength on cyclic graph: " + err.Error())
+	}
+	p := make([]float64, len(g.ops))
+	best := 0.0
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		m := 0.0
+		g.Succs(v, func(to OpID, _ float64) {
+			if p[to] > m {
+				m = p[to]
+			}
+		})
+		p[v] = g.ops[v].Time + m
+		if p[v] > best {
+			best = p[v]
+		}
+	}
+	return best
+}
+
+// ByPriority returns all operator IDs sorted by descending priority
+// indicator; ties break on ascending ID so the order is deterministic.
+// The result is a topological order (dependent ops have strictly larger
+// priority than their successors when op times are positive; the tie-break
+// also keeps independent equal-priority ops stable).
+func (g *Graph) ByPriority() []OpID {
+	p := g.PriorityIndicators()
+	return g.ByPriorityWith(p)
+}
+
+// ByPriorityWith sorts operator IDs by descending precomputed priority,
+// breaking ties by ascending ID.
+func (g *Graph) ByPriorityWith(p []float64) []OpID {
+	ids := make([]OpID, len(g.ops))
+	for i := range ids {
+		ids[i] = OpID(i)
+	}
+	sort.SliceStable(ids, func(i, j int) bool {
+		if p[ids[i]] != p[ids[j]] {
+			return p[ids[i]] > p[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// Layers partitions the operators into topological levels: layer 0 holds
+// the sources, and each operator sits one past its deepest predecessor.
+// Used by model builders and the random DAG generator.
+func (g *Graph) Layers() [][]OpID {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("graph: Layers on cyclic graph: " + err.Error())
+	}
+	level := make([]int, len(g.ops))
+	maxLevel := 0
+	for _, v := range order {
+		l := 0
+		g.Preds(v, func(from OpID, _ float64) {
+			if level[from]+1 > l {
+				l = level[from] + 1
+			}
+		})
+		level[v] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	layers := make([][]OpID, maxLevel+1)
+	for v := range g.ops {
+		layers[level[v]] = append(layers[level[v]], OpID(v))
+	}
+	return layers
+}

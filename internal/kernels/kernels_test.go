@@ -1,0 +1,198 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGemmIdentity(t *testing.T) {
+	id := []float32{1, 0, 0, 1}
+	b := []float32{3, 4, 5, 6}
+	c := Gemm(id, b, 2, 2, 2)
+	for i := range b {
+		if c[i] != b[i] {
+			t.Fatalf("I*B != B: %v", c)
+		}
+	}
+}
+
+func TestGemmKnown(t *testing.T) {
+	// [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+	a := []float32{1, 2, 3, 4}
+	b := []float32{5, 6, 7, 8}
+	c := Gemm(a, b, 2, 2, 2)
+	want := []float32{19, 22, 43, 50}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("Gemm = %v, want %v", c, want)
+		}
+	}
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		for i := range a {
+			a[i] = float32(rng.Intn(10))
+		}
+		for i := range b {
+			b[i] = float32(rng.Intn(10))
+		}
+		c := Gemm(a, b, m, k, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var want float32
+				for l := 0; l < k; l++ {
+					want += a[i*k+l] * b[l*n+j]
+				}
+				if c[i*n+j] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGemmPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gemm accepted mismatched dims")
+		}
+	}()
+	Gemm([]float32{1}, []float32{1}, 2, 2, 2)
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// 1x1 kernel with weight 1 copies the input.
+	in := []float32{1, 2, 3, 4}
+	out, oh, ow := Conv2D(in, 1, 2, 2, []float32{1}, 1, 1, 1, 1, 0)
+	if oh != 2 || ow != 2 {
+		t.Fatalf("shape %dx%d", oh, ow)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("identity conv = %v", out)
+		}
+	}
+}
+
+func TestConv2DSum3x3(t *testing.T) {
+	// All-ones 3x3 kernel with pad 1 on a 3x3 all-ones input: center
+	// sees 9, edges 6, corners 4.
+	in := make([]float32, 9)
+	for i := range in {
+		in[i] = 1
+	}
+	w := make([]float32, 9)
+	for i := range w {
+		w[i] = 1
+	}
+	out, _, _ := Conv2D(in, 1, 3, 3, w, 1, 3, 3, 1, 1)
+	want := []float32{4, 6, 4, 6, 9, 6, 4, 6, 4}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("conv = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestConv2DStride(t *testing.T) {
+	in := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	out, oh, ow := Conv2D(in, 1, 4, 4, []float32{1}, 1, 1, 1, 2, 0)
+	if oh != 2 || ow != 2 {
+		t.Fatalf("shape %dx%d", oh, ow)
+	}
+	want := []float32{1, 3, 9, 11}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("strided conv = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestMaxPool2D(t *testing.T) {
+	in := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	out, oh, ow := MaxPool2D(in, 1, 4, 4, 2, 2, 0)
+	if oh != 2 || ow != 2 {
+		t.Fatalf("shape %dx%d", oh, ow)
+	}
+	want := []float32{6, 8, 14, 16}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("maxpool = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestAddAndConcat(t *testing.T) {
+	s := Add([]float32{1, 2}, []float32{3, 4})
+	if s[0] != 4 || s[1] != 6 {
+		t.Fatalf("Add = %v", s)
+	}
+	c := Concat([]float32{1}, []float32{2, 3}, nil, []float32{4})
+	if len(c) != 4 || c[3] != 4 {
+		t.Fatalf("Concat = %v", c)
+	}
+}
+
+func TestSynthDeterministic(t *testing.T) {
+	in := [][]float32{{1, 2, 3}, {4, 5}}
+	a := Synth(7, in, 1000)
+	b := Synth(7, in, 1000)
+	if len(a) != SynthLen {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Synth is not deterministic")
+		}
+	}
+}
+
+func TestSynthWorkInvariant(t *testing.T) {
+	// The output must not depend on the amount of burned work — only on
+	// seed and inputs — or scheduling equivalence checks would break.
+	in := [][]float32{{1, 2, 3}}
+	a := Synth(3, in, 10)
+	b := Synth(3, in, 100000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Synth output depends on work amount")
+		}
+	}
+}
+
+func TestSynthDependsOnSeedAndInputs(t *testing.T) {
+	in := [][]float32{{1, 2, 3}}
+	a := Synth(1, in, 10)
+	b := Synth(2, in, 10)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Synth ignores the seed")
+	}
+	c := Synth(1, [][]float32{{9, 9, 9}}, 10)
+	same = true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Synth ignores its inputs")
+	}
+}

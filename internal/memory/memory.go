@@ -1,0 +1,167 @@
+// Package memory accounts the per-GPU device-memory footprint of a
+// schedule. The paper motivates its scope with GPU memory capacity (§II:
+// intra-operator partitioning is only needed "when the memory size of a
+// single GPU is insufficient"), and any production deployment of a
+// multi-GPU schedule must check that placing operators on a device does
+// not overflow it — tensors live on their producer's GPU from the moment
+// the producer's stage finishes until their last consumer's stage
+// finishes, and additionally on every consumer GPU from arrival to
+// consumption.
+//
+// The analysis walks an evaluated schedule's timeline and reports, per
+// GPU, the peak sum of resident tensor sizes plus the weight/workspace
+// bytes of the operators placed there.
+package memory
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/sched"
+)
+
+// Report is the memory analysis of one schedule.
+type Report struct {
+	// PeakBytes is the peak resident tensor footprint per GPU.
+	PeakBytes []int64
+	// PeakAt is the time (ms) at which each GPU reaches its peak.
+	PeakAt []float64
+	// ResidentOps counts tensors contributing to each GPU's peak.
+	ResidentOps []int
+}
+
+// MaxPeak returns the largest per-GPU peak.
+func (r *Report) MaxPeak() int64 {
+	var m int64
+	for _, b := range r.PeakBytes {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Fits reports whether every GPU's peak stays within the given capacity.
+func (r *Report) Fits(capacityBytes int64) bool {
+	return r.MaxPeak() <= capacityBytes
+}
+
+// event is a +bytes/-bytes step on one GPU's resident set.
+type event struct {
+	at    float64
+	delta int64
+	dops  int
+}
+
+// Analyze computes the Report for schedule s of graph g under cost model
+// m. Tensor sizes come from each operator's Bytes field; operators with
+// zero Bytes contribute nothing (graphs without tensor semantics, such as
+// the random simulation models, then yield all-zero reports).
+//
+// Lifetime model:
+//
+//   - a tensor's buffer is allocated on its producer's GPU when the
+//     producer's stage starts (the kernel writes into it);
+//   - it stays resident there until the last local consumer's stage
+//     finishes, and at least until the last outbound transfer of it
+//     completes;
+//   - each consumer GPU holds a copy from the tensor's arrival until the
+//     last consuming stage on that GPU finishes;
+//   - network outputs (no consumers) stay resident through the makespan.
+func Analyze(g *graph.Graph, m cost.Model, s *sched.Schedule) (*Report, error) {
+	tm, err := sched.Evaluate(g, m, s)
+	if err != nil {
+		return nil, fmt.Errorf("memory: %w", err)
+	}
+	n := g.NumOps()
+	gpus := len(s.GPUs)
+	place := s.Placement(n)
+
+	evs := make([][]event, gpus)
+	push := func(gpu int, at float64, delta int64, dops int) {
+		evs[gpu] = append(evs[gpu], event{at: at, delta: delta, dops: dops})
+	}
+
+	for v := 0; v < n; v++ {
+		bytes := g.Op(graph.OpID(v)).Bytes
+		if bytes <= 0 {
+			continue
+		}
+		pg := place[v]
+		born := tm.OpStart[v]
+		produced := tm.OpFinish[v]
+
+		// Last use on the producer GPU, and arrival/last-use per
+		// remote GPU.
+		localDeath := produced
+		remoteDeath := map[int]float64{}
+		remoteBirth := map[int]float64{}
+		hasConsumer := false
+		g.Succs(graph.OpID(v), func(u graph.OpID, _ float64) {
+			hasConsumer = true
+			cg := place[u]
+			if cg == pg {
+				if tm.OpFinish[u] > localDeath {
+					localDeath = tm.OpFinish[u]
+				}
+				return
+			}
+			arrive := produced + cost.CommBetween(m, graph.OpID(v), u, pg, cg)
+			// The producer GPU must keep the tensor until the
+			// transfer completes.
+			if arrive > localDeath {
+				localDeath = arrive
+			}
+			if b, ok := remoteBirth[cg]; !ok || arrive < b {
+				remoteBirth[cg] = arrive
+			}
+			if d := tm.OpFinish[u]; d > remoteDeath[cg] {
+				remoteDeath[cg] = d
+			}
+		})
+		if !hasConsumer {
+			localDeath = tm.Latency // network output
+		}
+		push(pg, born, bytes, 1)
+		push(pg, localDeath, -bytes, -1)
+		for cg, death := range remoteDeath {
+			push(cg, remoteBirth[cg], bytes, 1)
+			push(cg, death, -bytes, -1)
+		}
+	}
+
+	rep := &Report{
+		PeakBytes:   make([]int64, gpus),
+		PeakAt:      make([]float64, gpus),
+		ResidentOps: make([]int, gpus),
+	}
+	for gi := range evs {
+		es := evs[gi]
+		sort.Slice(es, func(a, b int) bool {
+			if es[a].at != es[b].at {
+				return es[a].at < es[b].at
+			}
+			// Process releases before allocations at equal times:
+			// a consumer finishing exactly when another tensor is
+			// born should not double-count.
+			return es[a].delta < es[b].delta
+		})
+		var cur int64
+		var ops int
+		for _, e := range es {
+			cur += e.delta
+			ops += e.dops
+			if cur > rep.PeakBytes[gi] {
+				rep.PeakBytes[gi] = cur
+				rep.PeakAt[gi] = e.at
+				rep.ResidentOps[gi] = ops
+			}
+		}
+		if cur != 0 {
+			return nil, fmt.Errorf("memory: GPU %d accounting unbalanced by %d bytes", gi, cur)
+		}
+	}
+	return rep, nil
+}

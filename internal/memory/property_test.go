@@ -1,0 +1,81 @@
+package memory
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/randdag"
+	"github.com/shus-lab/hios/internal/sched"
+)
+
+// TestMemoryInvariantsProperty checks, over random graphs with random
+// tensor sizes and random placements:
+//
+//   - the analysis never errors on a valid schedule (accounting balances);
+//   - every GPU's peak is at least the largest single tensor placed on it
+//     and at most the total bytes of all tensors (copies included);
+//   - an all-on-one-GPU placement needs no cross-GPU copies, so its peak
+//     is bounded by the sum of all tensor sizes.
+func TestMemoryInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randdag.Paper()
+		cfg.Ops = 6 + rng.Intn(30)
+		cfg.Layers = 2 + rng.Intn(5)
+		cfg.Deps = cfg.Ops
+		cfg.Seed = seed
+		g0 := randdag.MustGenerate(cfg)
+		// Rebuild with random tensor sizes (randdag leaves Bytes 0).
+		g := graph.New(g0.NumOps(), g0.NumEdges())
+		var total int64
+		for _, op := range g0.Ops() {
+			op.Bytes = int64(rng.Intn(1000))
+			total += op.Bytes
+			g.AddOp(op)
+		}
+		for _, e := range g0.Edges() {
+			g.AddEdge(e.From, e.To, e.Time)
+		}
+		g.MustFinalize()
+		m := cost.FromGraph(g, cost.DefaultContention())
+
+		gpus := 1 + rng.Intn(4)
+		place := make([]int, g.NumOps())
+		for i := range place {
+			place[i] = rng.Intn(gpus)
+		}
+		s := sched.FromPlacement(gpus, g.ByPriority(), place)
+		rep, err := Analyze(g, m, s)
+		if err != nil {
+			return false
+		}
+		// Peak per GPU >= biggest tensor produced there; total peaks
+		// bounded by total bytes plus one copy per cross edge.
+		var crossCopies int64
+		for _, e := range g.Edges() {
+			if place[e.From] != place[e.To] {
+				crossCopies += g.Op(e.From).Bytes
+			}
+		}
+		var sumPeaks int64
+		for gi, peak := range rep.PeakBytes {
+			var biggest int64
+			for v := 0; v < g.NumOps(); v++ {
+				if place[v] == gi && g.Op(graph.OpID(v)).Bytes > biggest {
+					biggest = g.Op(graph.OpID(v)).Bytes
+				}
+			}
+			if peak < biggest {
+				return false
+			}
+			sumPeaks += peak
+		}
+		return sumPeaks <= total+crossCopies
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/shus-lab/hios/internal/gpu"
+)
+
+func BenchmarkBuildInceptionV3(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = InceptionV3(gpu.A40(), gpu.NVLinkBridge(), 299)
+	}
+}
+
+func BenchmarkBuildNASNet(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NASNet(gpu.A40(), gpu.NVLinkBridge(), 331)
+	}
+}

@@ -1,0 +1,177 @@
+// Package mpi is an in-process stand-in for the CUDA-aware MPI layer the
+// paper's HIOS engine uses for inter-GPU tensor transfers. A Comm spans a
+// fixed number of ranks (one per simulated GPU worker); ranks exchange
+// tagged float32 tensors through mailboxes, with an optional link model
+// injecting per-message transfer delay so the executor experiences the
+// same communication/computation overlap structure the real system does.
+//
+// Semantics mirror the MPI subset HIOS needs: point-to-point tagged
+// send/receive (MPI_Send/MPI_Recv with CUDA device pointers in the
+// original) and a barrier. Sends are asynchronous (buffered); receives
+// block until the matching message has fully "arrived" under the link
+// model.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DelayFunc maps a message size in bytes to a simulated transfer delay.
+// A nil DelayFunc means instant delivery.
+type DelayFunc func(bytes int) time.Duration
+
+// Comm is a communicator over a fixed set of ranks.
+type Comm struct {
+	size  int
+	delay DelayFunc
+
+	mu    sync.Mutex
+	boxes map[boxKey]chan envelope
+
+	barrierMu   sync.Mutex
+	barrierCond *sync.Cond
+	barrierGen  int
+	barrierIn   int
+
+	sent, received int64
+	bytesMoved     int64
+}
+
+type boxKey struct {
+	src, dst, tag int
+}
+
+type envelope struct {
+	data    []float32
+	readyAt time.Time
+}
+
+// NewComm creates a communicator with the given number of ranks and link
+// delay model.
+func NewComm(size int, delay DelayFunc) (*Comm, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpi: communicator needs at least 1 rank, got %d", size)
+	}
+	c := &Comm{size: size, delay: delay, boxes: make(map[boxKey]chan envelope)}
+	c.barrierCond = sync.NewCond(&c.barrierMu)
+	return c, nil
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Rank returns the handle for rank i.
+func (c *Comm) Rank(i int) (*Rank, error) {
+	if i < 0 || i >= c.size {
+		return nil, fmt.Errorf("mpi: rank %d out of range [0, %d)", i, c.size)
+	}
+	return &Rank{id: i, comm: c}, nil
+}
+
+// box returns (creating if needed) the mailbox for (src, dst, tag).
+func (c *Comm) box(k boxKey) chan envelope {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.boxes[k]
+	if !ok {
+		// Generous buffering keeps sends non-blocking for the message
+		// patterns the executor generates (one tensor per edge).
+		b = make(chan envelope, 64)
+		c.boxes[k] = b
+	}
+	return b
+}
+
+// Stats reports message counts and payload volume.
+func (c *Comm) Stats() (sent, received, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent, c.received, c.bytesMoved
+}
+
+// Rank is one endpoint of a communicator.
+type Rank struct {
+	id   int
+	comm *Comm
+}
+
+// ID returns the rank index.
+func (r *Rank) ID() int { return r.id }
+
+// Send delivers data to rank dst under the given tag. The payload is
+// copied, so the caller may reuse its buffer. Send does not block on the
+// receiver (buffered mailbox); it returns an error for invalid ranks.
+func (r *Rank) Send(dst, tag int, data []float32) error {
+	var d time.Duration
+	if r.comm.delay != nil {
+		d = r.comm.delay(4 * len(data))
+	}
+	return r.SendDelayed(dst, tag, data, d)
+}
+
+// SendDelayed is Send with an explicit transfer delay, overriding the
+// communicator's link model. The executor uses it to charge the cost
+// model's per-edge transfer time instead of a bytes-based estimate.
+func (r *Rank) SendDelayed(dst, tag int, data []float32, delay time.Duration) error {
+	if dst < 0 || dst >= r.comm.size {
+		return fmt.Errorf("mpi: send to invalid rank %d", dst)
+	}
+	if dst == r.id {
+		return fmt.Errorf("mpi: rank %d sending to itself", dst)
+	}
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	readyAt := time.Now().Add(delay)
+	box := r.comm.box(boxKey{src: r.id, dst: dst, tag: tag})
+	select {
+	case box <- envelope{data: cp, readyAt: readyAt}:
+	default:
+		// Mailbox full: block (backpressure), like an un-buffered
+		// MPI_Send past the eager threshold.
+		box <- envelope{data: cp, readyAt: readyAt}
+	}
+	r.comm.mu.Lock()
+	r.comm.sent++
+	r.comm.bytesMoved += int64(4 * len(data))
+	r.comm.mu.Unlock()
+	return nil
+}
+
+// Recv blocks until the message from rank src with the given tag arrives
+// (send order per (src, dst, tag) is preserved) and the link-model delay
+// has elapsed, then returns the payload.
+func (r *Rank) Recv(src, tag int) ([]float32, error) {
+	if src < 0 || src >= r.comm.size {
+		return nil, fmt.Errorf("mpi: recv from invalid rank %d", src)
+	}
+	box := r.comm.box(boxKey{src: src, dst: r.id, tag: tag})
+	env := <-box
+	if wait := time.Until(env.readyAt); wait > 0 {
+		time.Sleep(wait)
+	}
+	r.comm.mu.Lock()
+	r.comm.received++
+	r.comm.mu.Unlock()
+	return env.data, nil
+}
+
+// Barrier blocks until every rank has entered it. Standard generation-
+// counted barrier; safe for repeated use.
+func (r *Rank) Barrier() {
+	c := r.comm
+	c.barrierMu.Lock()
+	gen := c.barrierGen
+	c.barrierIn++
+	if c.barrierIn == c.size {
+		c.barrierIn = 0
+		c.barrierGen++
+		c.barrierCond.Broadcast()
+	} else {
+		for gen == c.barrierGen {
+			c.barrierCond.Wait()
+		}
+	}
+	c.barrierMu.Unlock()
+}

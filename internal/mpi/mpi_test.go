@@ -1,0 +1,213 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	c, err := NewComm(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, _ := c.Rank(0)
+	r1, _ := c.Rank(1)
+	payload := []float32{1, 2, 3}
+	if err := r0.Send(1, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r1.Recv(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("payload corrupted: %v", got)
+	}
+	// Payload must be a copy.
+	payload[0] = 99
+	if got[0] == 99 {
+		t.Fatal("Send aliases the caller's buffer")
+	}
+	sent, received, bytes := c.Stats()
+	if sent != 1 || received != 1 || bytes != 12 {
+		t.Fatalf("stats = %d %d %d", sent, received, bytes)
+	}
+}
+
+func TestTagsIsolateMessages(t *testing.T) {
+	c, _ := NewComm(2, nil)
+	r0, _ := c.Rank(0)
+	r1, _ := c.Rank(1)
+	if err := r0.Send(1, 1, []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r0.Send(1, 2, []float32{2}); err != nil {
+		t.Fatal(err)
+	}
+	// Receive in the opposite order of sending.
+	b, err := r1.Recv(0, 2)
+	if err != nil || b[0] != 2 {
+		t.Fatalf("tag 2 = %v (%v)", b, err)
+	}
+	a, err := r1.Recv(0, 1)
+	if err != nil || a[0] != 1 {
+		t.Fatalf("tag 1 = %v (%v)", a, err)
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	c, _ := NewComm(2, nil)
+	r0, _ := c.Rank(0)
+	r1, _ := c.Rank(1)
+	done := make(chan []float32)
+	go func() {
+		v, _ := r1.Recv(0, 3)
+		done <- v
+	}()
+	select {
+	case <-done:
+		t.Fatal("Recv returned before Send")
+	case <-time.After(10 * time.Millisecond):
+	}
+	if err := r0.Send(1, 3, []float32{42}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-done:
+		if v[0] != 42 {
+			t.Fatalf("wrong payload: %v", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv never completed")
+	}
+}
+
+func TestDelayedDelivery(t *testing.T) {
+	c, _ := NewComm(2, nil)
+	r0, _ := c.Rank(0)
+	r1, _ := c.Rank(1)
+	const delay = 30 * time.Millisecond
+	start := time.Now()
+	if err := r0.SendDelayed(1, 0, []float32{1}, delay); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.Recv(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("message arrived after %v, before the %v delay", elapsed, delay)
+	}
+}
+
+func TestLinkModelDelay(t *testing.T) {
+	c, _ := NewComm(2, func(bytes int) time.Duration {
+		return time.Duration(bytes) * time.Millisecond // 1 ms per byte
+	})
+	r0, _ := c.Rank(0)
+	r1, _ := c.Rank(1)
+	start := time.Now()
+	if err := r0.Send(1, 0, []float32{1, 2, 3, 4, 5}); err != nil { // 20 bytes
+		t.Fatal(err)
+	}
+	if _, err := r1.Recv(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("link model not applied: %v", elapsed)
+	}
+}
+
+func TestInvalidRanks(t *testing.T) {
+	if _, err := NewComm(0, nil); err == nil {
+		t.Fatal("accepted empty communicator")
+	}
+	c, _ := NewComm(2, nil)
+	if _, err := c.Rank(5); err == nil {
+		t.Fatal("accepted out-of-range rank")
+	}
+	r0, _ := c.Rank(0)
+	if err := r0.Send(5, 0, nil); err == nil {
+		t.Fatal("accepted send to invalid rank")
+	}
+	if err := r0.Send(0, 0, nil); err == nil {
+		t.Fatal("accepted send to self")
+	}
+	if _, err := r0.Recv(9, 0); err == nil {
+		t.Fatal("accepted recv from invalid rank")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const n = 4
+	c, _ := NewComm(n, nil)
+	var phase [n]int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, _ := c.Rank(i)
+			for round := 0; round < 3; round++ {
+				mu.Lock()
+				phase[i]++
+				mu.Unlock()
+				r.Barrier()
+				// After the barrier, every rank must have
+				// completed this round.
+				mu.Lock()
+				for j := 0; j < n; j++ {
+					if int(phase[j]) < round+1 {
+						t.Errorf("rank %d saw rank %d at phase %d in round %d", i, j, phase[j], round)
+					}
+				}
+				mu.Unlock()
+				r.Barrier()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestManyConcurrentMessages(t *testing.T) {
+	const ranks = 4
+	const msgs = 200
+	c, _ := NewComm(ranks, nil)
+	var wg sync.WaitGroup
+	for src := 0; src < ranks; src++ {
+		for dst := 0; dst < ranks; dst++ {
+			if src == dst {
+				continue
+			}
+			wg.Add(2)
+			go func(src, dst int) {
+				defer wg.Done()
+				r, _ := c.Rank(src)
+				for k := 0; k < msgs; k++ {
+					if err := r.Send(dst, k, []float32{float32(src*1000 + k)}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(src, dst)
+			go func(src, dst int) {
+				defer wg.Done()
+				r, _ := c.Rank(dst)
+				for k := 0; k < msgs; k++ {
+					v, err := r.Recv(src, k)
+					if err != nil || v[0] != float32(src*1000+k) {
+						t.Errorf("recv %d->%d tag %d: %v %v", src, dst, k, v, err)
+						return
+					}
+				}
+			}(src, dst)
+		}
+	}
+	wg.Wait()
+	sent, received, _ := c.Stats()
+	want := int64(ranks * (ranks - 1) * msgs)
+	if sent != want || received != want {
+		t.Fatalf("stats = %d/%d, want %d", sent, received, want)
+	}
+}

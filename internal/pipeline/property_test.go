@@ -1,0 +1,73 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/randdag"
+	"github.com/shus-lab/hios/internal/sched"
+)
+
+// TestPipelineInvariantsProperty checks, over random graphs and random
+// placements, the structural laws of pipelined execution:
+//
+//   - request-0 latency equals the evaluator's single-request latency;
+//   - the steady period never exceeds that latency;
+//   - the steady period is at least the bottleneck GPU's busy time;
+//   - completions are strictly increasing.
+func TestPipelineInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randdag.Paper()
+		cfg.Ops = 8 + rng.Intn(30)
+		cfg.Layers = 2 + rng.Intn(5)
+		cfg.Deps = cfg.Ops + rng.Intn(cfg.Ops)
+		cfg.Seed = seed
+		g := randdag.MustGenerate(cfg)
+		m := cost.FromGraph(g, cost.DefaultContention())
+		gpus := 1 + rng.Intn(4)
+		place := make([]int, cfg.Ops)
+		for i := range place {
+			place[i] = rng.Intn(gpus)
+		}
+		s := sched.FromPlacement(gpus, g.ByPriority(), place)
+		want, err := sched.Latency(g, m, s)
+		if err != nil {
+			return false
+		}
+		rep, err := Analyze(g, m, s, 2+rng.Intn(4))
+		if err != nil {
+			return false
+		}
+		if d := rep.LatencyMs - want; d > 1e-9 || d < -1e-9 {
+			return false
+		}
+		if rep.SteadyPeriodMs > rep.LatencyMs+1e-9 || rep.SteadyPeriodMs <= 0 {
+			return false
+		}
+		var maxBusy float64
+		for gi := range s.GPUs {
+			var busy float64
+			for _, st := range s.GPUs[gi].Stages {
+				busy += m.StageTime(st.Ops)
+			}
+			if busy > maxBusy {
+				maxBusy = busy
+			}
+		}
+		if rep.SteadyPeriodMs < maxBusy-1e-9 {
+			return false
+		}
+		for r := 1; r < rep.Requests; r++ {
+			if rep.Completions[r] <= rep.Completions[r-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/shus-lab/hios/internal/graph"
+)
+
+// The paper's scheduler profiles a model once and reuses the measurements
+// across scheduling runs; this file provides the corresponding artifact:
+// a JSON snapshot of every memoized probe, loadable as a standalone cost
+// model that never re-measures.
+
+// Snapshot is the serialized form of a CostTable's measurements.
+type Snapshot struct {
+	// Model optionally names the profiled network.
+	Model string `json:"model"`
+	// Warmup and Repeats record the measurement discipline.
+	Warmup  int `json:"warmup"`
+	Repeats int `json:"repeats"`
+	// Ops maps operator ID -> t(v).
+	Ops map[graph.OpID]float64 `json:"ops"`
+	// Comms lists measured transfers.
+	Comms []CommEntry `json:"comms"`
+	// Stages lists measured concurrent groups.
+	Stages []StageEntry `json:"stages"`
+}
+
+// CommEntry is one measured transfer t(u, v).
+type CommEntry struct {
+	From graph.OpID `json:"from"`
+	To   graph.OpID `json:"to"`
+	Ms   float64    `json:"ms"`
+}
+
+// StageEntry is one measured concurrent group t(S).
+type StageEntry struct {
+	Ops []graph.OpID `json:"ops"`
+	Ms  float64      `json:"ms"`
+}
+
+// Export serializes every measurement the table has performed so far.
+func (t *CostTable) Export(model string) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := Snapshot{
+		Model:   model,
+		Warmup:  t.warmup,
+		Repeats: t.repeats,
+		Ops:     make(map[graph.OpID]float64, len(t.ops)),
+	}
+	for k, v := range t.ops {
+		snap.Ops[k] = v
+	}
+	for k, v := range t.comms {
+		snap.Comms = append(snap.Comms, CommEntry{From: k[0], To: k[1], Ms: v})
+	}
+	sort.Slice(snap.Comms, func(i, j int) bool {
+		if snap.Comms[i].From != snap.Comms[j].From {
+			return snap.Comms[i].From < snap.Comms[j].From
+		}
+		return snap.Comms[i].To < snap.Comms[j].To
+	})
+	for k, v := range t.stages {
+		snap.Stages = append(snap.Stages, StageEntry{Ops: decodeStageKey(k), Ms: v})
+	}
+	sort.Slice(snap.Stages, func(i, j int) bool {
+		a, b := snap.Stages[i].Ops, snap.Stages[j].Ops
+		for x := 0; x < len(a) && x < len(b); x++ {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return json.MarshalIndent(snap, "", " ")
+}
+
+// Import parses a Snapshot into a frozen cost model: lookups hit only the
+// recorded measurements, and a probe the profile never performed returns
+// an error through the panic-free Missing reporting of FrozenModel.
+func Import(data []byte) (*FrozenModel, error) {
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("profile: parsing snapshot: %w", err)
+	}
+	fm := &FrozenModel{
+		Model:  snap.Model,
+		ops:    snap.Ops,
+		comms:  make(map[[2]graph.OpID]float64, len(snap.Comms)),
+		stages: make(map[string]float64, len(snap.Stages)),
+	}
+	if fm.ops == nil {
+		fm.ops = map[graph.OpID]float64{}
+	}
+	for _, c := range snap.Comms {
+		fm.comms[[2]graph.OpID{c.From, c.To}] = c.Ms
+	}
+	for _, st := range snap.Stages {
+		fm.stages[stageKey(st.Ops)] = st.Ms
+	}
+	return fm, nil
+}
+
+// FrozenModel is a cost model backed purely by recorded measurements.
+// Missing probes do not invent values: OpTime and StageTime fall back to
+// pessimistic serialization of known per-op times, CommTime to zero, and
+// every miss is counted so callers can detect an incomplete profile.
+type FrozenModel struct {
+	Model  string
+	ops    map[graph.OpID]float64
+	comms  map[[2]graph.OpID]float64
+	stages map[string]float64
+	misses int
+}
+
+// OpTime implements cost.Model.
+func (f *FrozenModel) OpTime(v graph.OpID) float64 {
+	if t, ok := f.ops[v]; ok {
+		return t
+	}
+	f.misses++
+	return 0
+}
+
+// CommTime implements cost.Model.
+func (f *FrozenModel) CommTime(u, v graph.OpID) float64 {
+	if t, ok := f.comms[[2]graph.OpID{u, v}]; ok {
+		return t
+	}
+	f.misses++
+	return 0
+}
+
+// StageTime implements cost.Model. An unmeasured group is priced as the
+// sum of its members' solo times — the safe upper bound that never makes
+// an unprofiled fusion look attractive.
+func (f *FrozenModel) StageTime(ops []graph.OpID) float64 {
+	if len(ops) == 1 {
+		return f.OpTime(ops[0])
+	}
+	if t, ok := f.stages[stageKey(ops)]; ok {
+		return t
+	}
+	f.misses++
+	var sum float64
+	for _, v := range ops {
+		sum += f.OpTime(v)
+	}
+	return sum
+}
+
+// Misses returns how many lookups fell outside the recorded profile.
+func (f *FrozenModel) Misses() int { return f.misses }
+
+// decodeStageKey inverts stageKey.
+func decodeStageKey(k string) []graph.OpID {
+	b := []byte(k)
+	out := make([]graph.OpID, 0, len(b)/4)
+	for i := 0; i+3 < len(b); i += 4 {
+		out = append(out, graph.OpID(uint32(b[i])|uint32(b[i+1])<<8|uint32(b[i+2])<<16|uint32(b[i+3])<<24))
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package profile
+
+import (
+	"testing"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/randdag"
+	"github.com/shus-lab/hios/internal/sched/lp"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	cfg := randdag.Paper()
+	cfg.Ops, cfg.Layers, cfg.Deps, cfg.Seed = 30, 5, 60, 8
+	g := randdag.MustGenerate(cfg)
+	inner := cost.FromGraph(g, cost.DefaultContention())
+	tab := NewTable(inner, 1, 1)
+
+	// Profile through a real scheduling run.
+	live, err := lp.Schedule(g, tab, lp.Options{GPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := tab.Export("random-30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := Import(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen.Model != "random-30" {
+		t.Fatalf("model name lost: %q", frozen.Model)
+	}
+
+	// Re-scheduling against the frozen profile must reproduce the run
+	// exactly: same schedule, same latency, zero misses.
+	replay, err := lp.Schedule(g, frozen, lp.Options{GPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Latency != live.Latency {
+		t.Fatalf("frozen replay latency %g != live %g", replay.Latency, live.Latency)
+	}
+	if replay.Schedule.String() != live.Schedule.String() {
+		t.Fatal("frozen replay produced a different schedule")
+	}
+	if frozen.Misses() != 0 {
+		t.Fatalf("replay missed %d probes", frozen.Misses())
+	}
+}
+
+func TestFrozenModelMissAccounting(t *testing.T) {
+	frozen, err := Import([]byte(`{"model":"empty"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen.OpTime(0) != 0 || frozen.CommTime(0, 1) != 0 {
+		t.Fatal("missing probes should price at 0")
+	}
+	// An unmeasured pair prices as the serial sum of (also missing) ops.
+	if frozen.StageTime([]graph.OpID{0, 1}) != 0 {
+		t.Fatal("missing stage should serialize missing ops")
+	}
+	if frozen.Misses() == 0 {
+		t.Fatal("misses not counted")
+	}
+}
+
+func TestFrozenStageFallbackSerializes(t *testing.T) {
+	snap := []byte(`{"ops":{"0":2,"1":3}}`)
+	frozen, err := Import(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := frozen.StageTime([]graph.OpID{0, 1}); got != 5 {
+		t.Fatalf("fallback stage = %g, want serialized 5", got)
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	if _, err := Import([]byte("{")); err == nil {
+		t.Fatal("accepted malformed snapshot")
+	}
+}
+
+func TestStageKeyRoundTrip(t *testing.T) {
+	ops := []graph.OpID{7, 300, 70000, 2}
+	got := decodeStageKey(stageKey(ops))
+	want := []graph.OpID{2, 7, 300, 70000} // stageKey sorts
+	if len(got) != len(want) {
+		t.Fatalf("decode = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decode = %v, want %v", got, want)
+		}
+	}
+}

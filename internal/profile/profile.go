@@ -1,0 +1,142 @@
+// Package profile reproduces the measurement layer of HIOS: the paper's
+// scheduler is profile-based, so before optimization it measures the
+// execution time of every operator, of every candidate group of concurrent
+// operators, and of every possible inter-GPU transfer. Fig. 14's "time
+// cost of scheduling optimization" is dominated by this profiling, which
+// is why IOS — whose dynamic program probes exponentially more operator
+// groups — pays far more than HIOS-LP/MR as inputs grow.
+//
+// CostTable wraps any cost.Model, memoizes every distinct probe exactly as
+// a real profiler caches measurements, and accounts the simulated wall
+// time a real profiler would have spent: (Warmup + Repeats) executions of
+// the probed kernel or transfer.
+package profile
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+)
+
+// Defaults for measurement repetition, matching the paper's methodology of
+// averaging 36 runs after warm-up.
+const (
+	DefaultWarmup  = 2
+	DefaultRepeats = 36
+)
+
+// CostTable is a memoizing, probe-counting cost.Model.
+type CostTable struct {
+	inner   cost.Model
+	warmup  int
+	repeats int
+
+	mu     sync.Mutex
+	ops    map[graph.OpID]float64
+	stages map[string]float64
+	comms  map[[2]graph.OpID]float64
+	simMs  float64
+}
+
+var _ cost.Model = (*CostTable)(nil)
+
+// NewTable wraps m with measurement accounting. Non-positive warmup or
+// repeats select the defaults.
+func NewTable(m cost.Model, warmup, repeats int) *CostTable {
+	if warmup <= 0 {
+		warmup = DefaultWarmup
+	}
+	if repeats <= 0 {
+		repeats = DefaultRepeats
+	}
+	return &CostTable{
+		inner:   m,
+		warmup:  warmup,
+		repeats: repeats,
+		ops:     make(map[graph.OpID]float64),
+		stages:  make(map[string]float64),
+		comms:   make(map[[2]graph.OpID]float64),
+	}
+}
+
+// OpTime implements cost.Model.
+func (t *CostTable) OpTime(v graph.OpID) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if x, ok := t.ops[v]; ok {
+		return x
+	}
+	x := t.inner.OpTime(v)
+	t.ops[v] = x
+	t.simMs += float64(t.warmup+t.repeats) * x
+	return x
+}
+
+// CommTime implements cost.Model.
+func (t *CostTable) CommTime(u, v graph.OpID) float64 {
+	key := [2]graph.OpID{u, v}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if x, ok := t.comms[key]; ok {
+		return x
+	}
+	x := t.inner.CommTime(u, v)
+	t.comms[key] = x
+	t.simMs += float64(t.warmup+t.repeats) * x
+	return x
+}
+
+// StageTime implements cost.Model. Probes are keyed by the sorted member
+// set, as a profiler measures each distinct concurrent group once.
+func (t *CostTable) StageTime(ops []graph.OpID) float64 {
+	if len(ops) == 1 {
+		return t.OpTime(ops[0])
+	}
+	key := stageKey(ops)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if x, ok := t.stages[key]; ok {
+		return x
+	}
+	x := t.inner.StageTime(ops)
+	t.stages[key] = x
+	t.simMs += float64(t.warmup+t.repeats) * x
+	return x
+}
+
+// Stats summarizes the measurements a real profiler would have performed.
+type Stats struct {
+	// OpProbes, StageProbes, CommProbes count distinct measurements.
+	OpProbes, StageProbes, CommProbes int
+	// SimulatedMs is the wall time those measurements would have cost:
+	// (warmup + repeats) executions each.
+	SimulatedMs float64
+}
+
+// Probes returns the total number of distinct measurements.
+func (s Stats) Probes() int { return s.OpProbes + s.StageProbes + s.CommProbes }
+
+// Stats returns the accounting snapshot.
+func (t *CostTable) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{
+		OpProbes:    len(t.ops),
+		StageProbes: len(t.stages),
+		CommProbes:  len(t.comms),
+		SimulatedMs: t.simMs,
+	}
+}
+
+func stageKey(ops []graph.OpID) string {
+	s := make([]graph.OpID, len(ops))
+	copy(s, ops)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	buf := make([]byte, 0, 4*len(s))
+	for _, id := range s {
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(buf)
+}

@@ -1,0 +1,39 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/shus-lab/hios/internal/cost"
+)
+
+func BenchmarkEvaluate200Ops4GPUs(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomLayered(rng, 200, 400)
+	m := cost.FromGraph(g, cost.DefaultContention())
+	place := make([]int, 200)
+	for i := range place {
+		place[i] = rng.Intn(4)
+	}
+	s := FromPlacement(4, g.ByPriority(), place)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(g, m, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidate200Ops(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomLayered(rng, 200, 400)
+	s := Sequential(g.ByPriority())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Validate(g, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

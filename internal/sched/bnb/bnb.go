@@ -1,0 +1,180 @@
+// Package bnb implements an exact branch-and-bound scheduler over the
+// operator-to-GPU placement space with the paper's temporal rule
+// (descending-priority order, earliest start). It optimizes the same
+// subproblem HIOS-LP's and HIOS-MR's spatial mapping heuristics address,
+// which makes it the reference for optimality-gap studies on mid-size
+// graphs (~20-26 operators) where plain exhaustive search (package brute,
+// M^n placements) is already hopeless.
+//
+// Pruning:
+//
+//   - GPU symmetry breaking: devices are homogeneous, so an operator may
+//     open at most one previously idle GPU;
+//   - critical-path lower bound: once operator u finishes at time f(u),
+//     no schedule completes before f(u) + tail(u), where tail(u) is the
+//     compute-only longest path from u to a sink (transfers and device
+//     contention can only add to it);
+//   - work lower bound: the remaining operator time spread perfectly over
+//     all M devices, on top of the earliest device-free time.
+package bnb
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/sched"
+)
+
+// MaxOps bounds the search; beyond ~26 operators the exact tree is
+// impractical even with pruning.
+const MaxOps = 26
+
+// Options configures the search.
+type Options struct {
+	// GPUs is M. Must be >= 1.
+	GPUs int
+	// MaxNodes aborts the search after expanding this many tree nodes
+	// (0 = unlimited). When the limit triggers, the best schedule found
+	// so far is returned along with ErrTruncated.
+	MaxNodes int64
+}
+
+// ErrTruncated reports that the node budget ran out; the result is the
+// best found, not proven optimal.
+var ErrTruncated = fmt.Errorf("bnb: node budget exhausted, result not proven optimal")
+
+// Schedule finds the optimal placement of g's operators onto opt.GPUs
+// devices under the priority-order temporal rule.
+func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
+	n := g.NumOps()
+	if n > MaxOps {
+		return sched.Result{}, fmt.Errorf("bnb: %d operators exceeds limit %d", n, MaxOps)
+	}
+	if opt.GPUs < 1 {
+		return sched.Result{}, fmt.Errorf("bnb: need at least 1 GPU")
+	}
+	if n == 0 {
+		return sched.Result{Schedule: sched.New(opt.GPUs)}, nil
+	}
+	M := opt.GPUs
+
+	order := g.ByPriority()
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+
+	// tail[v]: compute-only longest path from v to a sink, excluding
+	// t(v) itself.
+	tail := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		best := 0.0
+		g.Succs(v, func(to graph.OpID, _ float64) {
+			if x := g.Time(to) + tail[to]; x > best {
+				best = x
+			}
+		})
+		tail[v] = best
+	}
+	// suffixWork[i]: total operator time of order[i:].
+	suffixWork := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffixWork[i] = suffixWork[i+1] + g.Time(order[i])
+	}
+
+	place := make([]int, n)
+	finish := make([]float64, n)
+	avail := make([]float64, M)
+	bestPlace := make([]int, n)
+	bestLat := math.Inf(1)
+	var nodes int64
+	truncated := false
+
+	var rec func(i int, curMax float64, used int)
+	rec = func(i int, curMax float64, used int) {
+		if truncated {
+			return
+		}
+		nodes++
+		if opt.MaxNodes > 0 && nodes > opt.MaxNodes {
+			truncated = true
+			return
+		}
+		if i == n {
+			if curMax < bestLat {
+				bestLat = curMax
+				copy(bestPlace, place)
+			}
+			return
+		}
+		if curMax >= bestLat {
+			return
+		}
+		v := order[i]
+		// Work bound: remaining operators need suffixWork[i] device
+		// time in total; if T is the completion time, the devices offer
+		// at most M*(T - minAvail) of it, so T >= minAvail + work/M.
+		minAvail := avail[0]
+		for _, a := range avail[1:] {
+			if a < minAvail {
+				minAvail = a
+			}
+		}
+		if minAvail+suffixWork[i]/float64(M) >= bestLat {
+			return
+		}
+		limit := used + 1
+		if limit > M {
+			limit = M
+		}
+		for gi := 0; gi < limit; gi++ {
+			// Earliest start of v on GPU gi.
+			start := avail[gi]
+			g.Preds(v, func(u graph.OpID, _ float64) {
+				ready := finish[u] + cost.CommBetween(m, u, v, place[u], gi)
+				if ready > start {
+					start = ready
+				}
+			})
+			f := start + m.OpTime(v)
+			// Critical-path bound through v.
+			if f+tail[v] >= bestLat {
+				continue
+			}
+			nmax := curMax
+			if f > nmax {
+				nmax = f
+			}
+			place[v] = gi
+			prevAvail := avail[gi]
+			prevFinish := finish[v]
+			avail[gi] = f
+			finish[v] = f
+			nused := used
+			if gi == used {
+				nused++
+			}
+			rec(i+1, nmax, nused)
+			avail[gi] = prevAvail
+			finish[v] = prevFinish
+		}
+	}
+	rec(0, 0, 0)
+
+	if math.IsInf(bestLat, 1) {
+		return sched.Result{}, fmt.Errorf("bnb: no schedule found (budget too small)")
+	}
+	s := sched.FromPlacement(M, order, bestPlace)
+	lat, err := sched.Latency(g, m, s)
+	if err != nil {
+		return sched.Result{}, err
+	}
+	res := sched.Result{Schedule: s, Latency: lat}
+	if truncated {
+		return res, ErrTruncated
+	}
+	return res, nil
+}

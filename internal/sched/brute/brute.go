@@ -1,0 +1,61 @@
+// Package brute provides exhaustive-search reference schedulers for tiny
+// graphs. They exist to validate the HIOS heuristics in tests and to
+// quantify optimality gaps in the experiment harness; they are exponential
+// and refuse graphs beyond a small size.
+package brute
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/sched"
+)
+
+// MaxOps bounds the exhaustive searches: M^MaxOps placements.
+const MaxOps = 12
+
+// BestPlacement exhaustively tries every operator-to-GPU assignment,
+// placing operators temporally in descending-priority order at their
+// earliest start times (the same temporal rule HIOS-LP and HIOS-MR use),
+// and returns the best schedule found. This is the optimum of the
+// inter-GPU mapping subproblem under the paper's temporal rule, and hence
+// a lower bound no inter-GPU heuristic with that rule can beat.
+func BestPlacement(g *graph.Graph, m cost.Model, gpus int) (sched.Result, error) {
+	n := g.NumOps()
+	if n > MaxOps {
+		return sched.Result{}, fmt.Errorf("brute: %d operators exceeds limit %d", n, MaxOps)
+	}
+	if gpus < 1 {
+		return sched.Result{}, fmt.Errorf("brute: need at least 1 GPU")
+	}
+	order := g.ByPriority()
+	place := make([]int, n)
+	best := sched.Result{Latency: math.Inf(1)}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == n {
+			s := sched.FromPlacement(gpus, order, place)
+			lat, err := sched.Latency(g, m, s)
+			if err != nil {
+				return err
+			}
+			if lat < best.Latency {
+				best = sched.Result{Schedule: s, Latency: lat}
+			}
+			return nil
+		}
+		for gi := 0; gi < gpus; gi++ {
+			place[i] = gi
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return sched.Result{}, err
+	}
+	return best, nil
+}

@@ -1,0 +1,78 @@
+package brute
+
+import (
+	"testing"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/randdag"
+	"github.com/shus-lab/hios/internal/sched"
+)
+
+func TestRefusesLargeGraphs(t *testing.T) {
+	cfg := randdag.Paper()
+	cfg.Ops, cfg.Layers, cfg.Deps = MaxOps+1, 3, MaxOps
+	g := randdag.MustGenerate(cfg)
+	m := cost.FromGraph(g, cost.DefaultContention())
+	if _, err := BestPlacement(g, m, 2); err == nil {
+		t.Fatal("accepted a graph beyond MaxOps")
+	}
+	if _, err := BestPlacement(g, m, 0); err == nil {
+		t.Fatal("accepted zero GPUs")
+	}
+}
+
+func TestFindsObviousSplit(t *testing.T) {
+	// Two independent heavy ops: the optimum on 2 GPUs is to split.
+	g := graph.New(2, 0)
+	g.AddOp(graph.Op{Time: 5, Util: 1})
+	g.AddOp(graph.Op{Time: 5, Util: 1})
+	g.MustFinalize()
+	m := cost.FromGraph(g, cost.DefaultContention())
+	res, err := BestPlacement(g, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency != 5 {
+		t.Fatalf("latency = %g, want 5", res.Latency)
+	}
+	if res.Schedule.UsedGPUs() != 2 {
+		t.Fatalf("optimum should use both GPUs: %v", res.Schedule)
+	}
+}
+
+func TestKeepsChainTogetherUnderHeavyComm(t *testing.T) {
+	g := graph.New(3, 2)
+	a := g.AddOp(graph.Op{Time: 1})
+	b := g.AddOp(graph.Op{Time: 1})
+	c := g.AddOp(graph.Op{Time: 1})
+	g.AddEdge(a, b, 100)
+	g.AddEdge(b, c, 100)
+	g.MustFinalize()
+	m := cost.FromGraph(g, cost.DefaultContention())
+	res, err := BestPlacement(g, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency != 3 || res.Schedule.UsedGPUs() != 1 {
+		t.Fatalf("optimum should serialize the chain on one GPU: %g %v", res.Latency, res.Schedule)
+	}
+}
+
+func TestResultIsValidAndConsistent(t *testing.T) {
+	cfg := randdag.Paper()
+	cfg.Ops, cfg.Layers, cfg.Deps, cfg.Seed = 8, 3, 10, 5
+	g := randdag.MustGenerate(cfg)
+	m := cost.FromGraph(g, cost.DefaultContention())
+	res, err := BestPlacement(g, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := sched.Latency(g, m, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != res.Latency {
+		t.Fatalf("reported %g != evaluated %g", res.Latency, lat)
+	}
+}

@@ -1,0 +1,254 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+)
+
+// Timing is the evaluated timeline of a schedule: the earliest start and
+// finish time of every stage (and so of every operator) consistent with the
+// precedence constraint of §III-B, plus the resulting end-to-end latency.
+type Timing struct {
+	// Latency is the makespan: the maximum stage finish time.
+	Latency float64
+	// StageStart[g][j] / StageFinish[g][j] bound stage j on GPU g.
+	StageStart  [][]float64
+	StageFinish [][]float64
+	// OpStart / OpFinish are per-operator views (members of a stage
+	// share its start; each finishes with its stage, matching the
+	// paper's model where t(S) is measured for the set as a whole).
+	OpStart  []float64
+	OpFinish []float64
+	// GPUOf maps each operator to its GPU.
+	GPUOf []int
+}
+
+// Evaluate computes the timing of schedule s for graph g under cost model
+// m. It returns an error if the schedule is invalid: an operator is
+// missing, duplicated or unknown; a stage contains directly dependent
+// operators; or the stage graph (data edges plus per-GPU sequential order)
+// contains a cycle, i.e. the schedule would deadlock.
+//
+// Timing rules (paper §III-A "Stage" and "Operator Synchronization"):
+//
+//	start(S_{i,j})  >= finish(S_{i,j-1})                      (same GPU)
+//	start(S_{i',j'}) >= finish(S_{i,j}) + t(u,v)  for each edge (u,v),
+//	                   u in S_{i,j}, v in S_{i',j'}, i != i'  (cross GPU)
+//	start(S_{i,j'}) >= finish(S_{i,j})            for edges inside GPU i
+//	finish(S) = start(S) + t(S)
+//
+// All operators of a stage start simultaneously; the stage's duration is
+// the cost model's t(S).
+func Evaluate(g *graph.Graph, m cost.Model, s *Schedule) (*Timing, error) {
+	if err := Validate(g, s); err != nil {
+		return nil, err
+	}
+	return evaluate(g, m, s)
+}
+
+// EvaluatePartial is Evaluate for schedules covering only a subset of the
+// graph's operators, as arise during HIOS-LP's incremental trial mappings.
+// Dependencies touching an unscheduled operator are ignored; scheduled
+// operators must still appear exactly once.
+func EvaluatePartial(g *graph.Graph, m cost.Model, s *Schedule) (*Timing, error) {
+	if err := ValidatePartial(g, s); err != nil {
+		return nil, err
+	}
+	return evaluate(g, m, s)
+}
+
+func evaluate(g *graph.Graph, m cost.Model, s *Schedule) (*Timing, error) {
+	n := g.NumOps()
+
+	// Index stages.
+	type stageRef struct{ gpu, idx int }
+	var stages []stageRef
+	stageID := make([][]int, len(s.GPUs)) // gpu -> stage idx -> node id
+	opStage := make([]int, n)             // op -> node id, -1 if unscheduled
+	for i := range opStage {
+		opStage[i] = -1
+	}
+	for gi := range s.GPUs {
+		stageID[gi] = make([]int, len(s.GPUs[gi].Stages))
+		for j := range s.GPUs[gi].Stages {
+			id := len(stages)
+			stages = append(stages, stageRef{gpu: gi, idx: j})
+			stageID[gi][j] = id
+			for _, op := range s.GPUs[gi].Stages[j].Ops {
+				opStage[op] = id
+			}
+		}
+	}
+	ns := len(stages)
+
+	// Build the stage dependency graph. dep[to] = list of (from, lag):
+	// start(to) >= finish(from) + lag.
+	type depEdge struct {
+		from int
+		lag  float64
+	}
+	deps := make([][]depEdge, ns)
+	indeg := make([]int, ns)
+	succ := make([][]int, ns)
+	addDep := func(from, to int, lag float64) {
+		deps[to] = append(deps[to], depEdge{from: from, lag: lag})
+		succ[from] = append(succ[from], to)
+		indeg[to]++
+	}
+	// Sequential order within each GPU.
+	for gi := range s.GPUs {
+		for j := 1; j < len(s.GPUs[gi].Stages); j++ {
+			addDep(stageID[gi][j-1], stageID[gi][j], 0)
+		}
+	}
+	// Data dependencies.
+	place := s.Placement(n)
+	for _, e := range g.Edges() {
+		su, sv := opStage[e.From], opStage[e.To]
+		if su < 0 || sv < 0 {
+			continue // endpoint unscheduled: partial evaluation
+		}
+		if su == sv {
+			return nil, fmt.Errorf("sched: operators %d and %d share a stage but have a direct dependency", e.From, e.To)
+		}
+		lag := cost.CommBetween(m, e.From, e.To, place[e.From], place[e.To])
+		addDep(su, sv, lag)
+	}
+
+	// Longest-path over the stage DAG (Kahn order); a leftover node
+	// means a cycle (deadlock: mutually waiting stages, the "implicit
+	// dependency" loop Algorithm 2 must detect).
+	start := make([]float64, ns)
+	finish := make([]float64, ns)
+	dur := make([]float64, ns)
+	for id, ref := range stages {
+		dur[id] = m.StageTime(s.GPUs[ref.gpu].Stages[ref.idx].Ops)
+	}
+	var ready []int
+	for id := 0; id < ns; id++ {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	visited := 0
+	for len(ready) > 0 {
+		id := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		visited++
+		t := 0.0
+		for _, d := range deps[id] {
+			if x := finish[d.from] + d.lag; x > t {
+				t = x
+			}
+		}
+		start[id] = t
+		finish[id] = t + dur[id]
+		for _, w := range succ[id] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				ready = append(ready, w)
+			}
+		}
+	}
+	if visited != ns {
+		return nil, fmt.Errorf("sched: stage graph has a cycle (%d of %d stages schedulable): %w", visited, ns, graph.ErrCycle)
+	}
+
+	tm := &Timing{
+		StageStart:  make([][]float64, len(s.GPUs)),
+		StageFinish: make([][]float64, len(s.GPUs)),
+		OpStart:     make([]float64, n),
+		OpFinish:    make([]float64, n),
+		GPUOf:       place,
+	}
+	for gi := range s.GPUs {
+		tm.StageStart[gi] = make([]float64, len(s.GPUs[gi].Stages))
+		tm.StageFinish[gi] = make([]float64, len(s.GPUs[gi].Stages))
+		for j := range s.GPUs[gi].Stages {
+			id := stageID[gi][j]
+			tm.StageStart[gi][j] = start[id]
+			tm.StageFinish[gi][j] = finish[id]
+			if finish[id] > tm.Latency {
+				tm.Latency = finish[id]
+			}
+			for _, op := range s.GPUs[gi].Stages[j].Ops {
+				tm.OpStart[op] = start[id]
+				tm.OpFinish[op] = finish[id]
+			}
+		}
+	}
+	return tm, nil
+}
+
+// Latency evaluates the schedule and returns only the makespan.
+func Latency(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) {
+	tm, err := Evaluate(g, m, s)
+	if err != nil {
+		return 0, err
+	}
+	return tm.Latency, nil
+}
+
+// LatencyPartial evaluates a partial schedule and returns its makespan.
+func LatencyPartial(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) {
+	tm, err := EvaluatePartial(g, m, s)
+	if err != nil {
+		return 0, err
+	}
+	return tm.Latency, nil
+}
+
+// Validate checks the structural invariants of a schedule against its
+// graph: every operator scheduled exactly once, no unknown IDs, and no
+// empty stages. Dependency violations (intra-stage edges, cyclic stage
+// graphs) are detected by Evaluate.
+func Validate(g *graph.Graph, s *Schedule) error {
+	count, err := validateStages(g, s)
+	if err != nil {
+		return err
+	}
+	if n := g.NumOps(); count != n {
+		return fmt.Errorf("sched: %d of %d operators scheduled", count, n)
+	}
+	return nil
+}
+
+// ValidatePartial is Validate without the completeness requirement: a
+// schedule may cover any subset of the operators, each at most once.
+func ValidatePartial(g *graph.Graph, s *Schedule) error {
+	_, err := validateStages(g, s)
+	return err
+}
+
+func validateStages(g *graph.Graph, s *Schedule) (int, error) {
+	n := g.NumOps()
+	seen := make([]bool, n)
+	count := 0
+	for gi, q := range s.GPUs {
+		for j, st := range q.Stages {
+			if len(st.Ops) == 0 {
+				return 0, fmt.Errorf("sched: GPU %d stage %d is empty", gi, j)
+			}
+			for _, op := range st.Ops {
+				if op < 0 || int(op) >= n {
+					return 0, fmt.Errorf("sched: GPU %d stage %d references unknown operator %d", gi, j, op)
+				}
+				if seen[op] {
+					return 0, fmt.Errorf("sched: operator %d scheduled more than once", op)
+				}
+				seen[op] = true
+				count++
+			}
+		}
+	}
+	return count, nil
+}
+
+// Result pairs a schedule with its evaluated latency; every scheduling
+// algorithm in this repository returns one.
+type Result struct {
+	Schedule *Schedule
+	Latency  float64
+}

@@ -1,0 +1,193 @@
+package ios
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+)
+
+// maxBlockOps bounds the number of operators one DP block may hold: the
+// bitset state is a fixed [8]uint64 so it can serve directly as a map key
+// without per-state string allocation. 512 operators per block is far
+// beyond anything the dynamic program could enumerate in practice anyway.
+const maxBlockOps = 8 * 64
+
+// bitset is a fixed-width set over a block's local operator indices,
+// usable directly as a map key.
+type bitset [8]uint64
+
+func (b *bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b *bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// dpState is one DP node: a prefix-closed set of scheduled block operators.
+type dpState struct {
+	set   bitset
+	cost  float64
+	prev  bitset       // predecessor state
+	stage []graph.OpID // stage taken to reach this state (graph IDs)
+	count int          // popcount of set
+}
+
+// solveBlock runs the IOS dynamic program on one block and returns the
+// optimal (or beam-pruned) stage decomposition in execution order.
+func solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, opt Options) ([][]graph.OpID, error) {
+	b := len(block)
+	if b == 1 {
+		return [][]graph.OpID{{block[0]}}, nil
+	}
+	if b > maxBlockOps {
+		return nil, fmt.Errorf("ios: block of %d operators exceeds the %d-operator limit", b, maxBlockOps)
+	}
+	inBlock := make(map[graph.OpID]int, b)
+	for i, v := range block {
+		inBlock[v] = i
+	}
+	// Local predecessor lists (only intra-block edges constrain the DP;
+	// inter-block inputs come from earlier blocks, already complete).
+	preds := make([][]int, b)
+	for i, v := range block {
+		g.Preds(v, func(u graph.OpID, _ float64) {
+			if j, ok := inBlock[u]; ok {
+				preds[i] = append(preds[i], j)
+			}
+		})
+	}
+	beam := opt.Beam
+	if b <= opt.ExactLimit {
+		beam = 0 // exact within small blocks
+	}
+
+	start := &dpState{}
+	states := map[bitset]*dpState{start.set: start}
+	// Buckets by number of scheduled operators, processed in order; every
+	// transition strictly increases the count, so each bucket is final
+	// when processed.
+	buckets := make([][]*dpState, b+1)
+	buckets[0] = []*dpState{start}
+
+	var frontier []int
+	for c := 0; c < b; c++ {
+		bucket := buckets[c]
+		if beam > 0 && len(bucket) > beam {
+			sort.Slice(bucket, func(i, j int) bool {
+				if bucket[i].cost != bucket[j].cost {
+					return bucket[i].cost < bucket[j].cost
+				}
+				return less(bucket[i].set, bucket[j].set)
+			})
+			bucket = bucket[:beam]
+		}
+		for _, st := range bucket {
+			frontier = frontierOf(st.set, preds, b, frontier[:0])
+			if len(frontier) == 0 {
+				return nil, fmt.Errorf("ios: empty frontier with %d/%d scheduled (cyclic block?)", c, b)
+			}
+			fr := frontier
+			if len(fr) > opt.PruneWindow {
+				fr = fr[:opt.PruneWindow]
+			}
+			enumerateStages(fr, opt.MaxStage, func(stage []int) {
+				nset := st.set
+				ops := make([]graph.OpID, len(stage))
+				for i, li := range stage {
+					nset.set(li)
+					ops[i] = block[li]
+				}
+				t := m.StageTime(ops)
+				ncost := st.cost + t
+				if old, ok := states[nset]; ok {
+					if ncost < old.cost {
+						old.cost = ncost
+						old.prev = st.set
+						old.stage = ops
+					}
+					return
+				}
+				ns := &dpState{set: nset, cost: ncost, prev: st.set, stage: ops, count: c + len(stage)}
+				states[nset] = ns
+				buckets[ns.count] = append(buckets[ns.count], ns)
+			})
+		}
+	}
+
+	var full bitset
+	for i := 0; i < b; i++ {
+		full.set(i)
+	}
+	end, ok := states[full]
+	if !ok || math.IsInf(end.cost, 1) {
+		return nil, fmt.Errorf("ios: dynamic program did not reach the full state (beam too narrow?)")
+	}
+	// Walk predecessors back to the empty state.
+	var rev [][]graph.OpID
+	for cur := end; len(cur.stage) > 0; {
+		rev = append(rev, cur.stage)
+		nxt, ok := states[cur.prev]
+		if !ok {
+			return nil, fmt.Errorf("ios: broken DP back-pointer")
+		}
+		cur = nxt
+	}
+	out := make([][]graph.OpID, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out, nil
+}
+
+func less(a, b bitset) bool {
+	for i := 0; i < len(a); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// frontierOf appends to out the local indices whose intra-block
+// predecessors are all members of set and which are not members
+// themselves, in block (descending-priority) order.
+func frontierOf(set bitset, preds [][]int, b int, out []int) []int {
+	for i := 0; i < b; i++ {
+		if set.has(i) {
+			continue
+		}
+		ready := true
+		for _, p := range preds[i] {
+			if !set.has(p) {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// enumerateStages calls fn with every non-empty subset of frontier with at
+// most maxStage members. The subset slice is reused; fn must copy what it
+// keeps (solveBlock copies into ops immediately).
+func enumerateStages(frontier []int, maxStage int, fn func(stage []int)) {
+	r := len(frontier)
+	stage := make([]int, 0, maxStage)
+	var rec func(i int)
+	rec = func(i int) {
+		if len(stage) > 0 {
+			fn(stage)
+		}
+		if i >= r || len(stage) >= maxStage {
+			return
+		}
+		for j := i; j < r; j++ {
+			stage = append(stage, frontier[j])
+			rec(j + 1)
+			stage = stage[:len(stage)-1]
+		}
+	}
+	rec(0)
+}

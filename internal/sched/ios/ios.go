@@ -1,0 +1,218 @@
+// Package ios implements the Inter-Operator Scheduler of Ding et al.
+// (MLSys 2021), the state-of-the-art single-GPU baseline the HIOS paper
+// compares against (§V-B).
+//
+// IOS partitions a computation graph's execution on ONE GPU into stages of
+// independent operators and picks the stage decomposition minimizing total
+// latency with a dynamic program over "prefix-closed" operator sets: a set
+// S is a valid DP state when every predecessor of a member is also a
+// member. From state S the next stage may be any non-empty subset of S's
+// frontier (operators whose inputs are all in S); such subsets are
+// automatically antichains. On a single GPU the latency of a schedule is
+// the sum of its stage times, so
+//
+//	dp[S ∪ T] = min(dp[S ∪ T], dp[S] + t(T)).
+//
+// The DP is exponential in the graph's width. Exactly as in the original
+// paper, two mitigations make it practical:
+//
+//  1. Block partitioning: CNNs narrow to a single operator between
+//     multi-branch cells. Any operator comparable with every other
+//     operator (every op either reaches it or is reached by it) splits the
+//     problem; blocks are solved independently and concatenated.
+//  2. Schedule pruning: within a block, candidate stages are drawn from
+//     the first PruneWindow frontier operators (by priority), stages hold
+//     at most MaxStage operators, and (for blocks wider than ExactLimit) a
+//     beam of the Beam cheapest states per scheduled-operator count is
+//     kept. With Beam = 0 the DP is exact.
+//
+// HIOS adopts IOS's measured t(S) semantics, so the cost.Model supplies
+// stage times here exactly as it does for the HIOS algorithms.
+package ios
+
+import (
+	"sort"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/sched"
+)
+
+// Options configures the IOS dynamic program.
+type Options struct {
+	// MaxStage bounds the number of operators per stage (the paper's
+	// max number of concurrent CUDA streams). Zero means 8.
+	MaxStage int
+	// PruneWindow bounds how many frontier operators are considered
+	// when enumerating candidate stages. Zero means 8.
+	PruneWindow int
+	// ExactLimit is the largest block size solved exactly (no beam).
+	// Zero means 20.
+	ExactLimit int
+	// Beam bounds the number of DP states kept per scheduled-operator
+	// count in blocks wider than ExactLimit. Zero means 32.
+	Beam int
+}
+
+func (o *Options) fill() {
+	if o.MaxStage == 0 {
+		o.MaxStage = 8
+	}
+	if o.PruneWindow == 0 {
+		o.PruneWindow = 8
+	}
+	if o.ExactLimit == 0 {
+		o.ExactLimit = 20
+	}
+	if o.Beam == 0 {
+		o.Beam = 32
+	}
+}
+
+// Schedule runs IOS on g under cost model m and returns the single-GPU
+// stage decomposition with its latency.
+func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
+	opt.fill()
+	n := g.NumOps()
+	s := sched.New(1)
+	if n == 0 {
+		return sched.Result{Schedule: s, Latency: 0}, nil
+	}
+	for _, block := range Blocks(g) {
+		stages, err := solveBlock(g, m, block, opt)
+		if err != nil {
+			return sched.Result{}, err
+		}
+		for _, st := range stages {
+			s.AppendStage(0, st)
+		}
+	}
+	lat, err := sched.Latency(g, m, s)
+	if err != nil {
+		return sched.Result{}, err
+	}
+	return sched.Result{Schedule: s, Latency: lat}, nil
+}
+
+// SolveSequence runs the IOS stage-partitioning dynamic program over an
+// arbitrary operator subset (given in descending-priority order),
+// constrained only by the data dependencies *within* the subset. It
+// returns the stage decomposition in execution order.
+//
+// This is the primitive behind the §IV-B comparison: applying IOS per GPU
+// to a multi-GPU placement ignores cross-GPU dependencies entirely —
+// which is exactly the paper's argument for the sliding window — and the
+// resulting global schedule may even deadlock; callers must validate it.
+func SolveSequence(g *graph.Graph, m cost.Model, ops []graph.OpID, opt Options) ([][]graph.OpID, error) {
+	opt.fill()
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	return solveBlock(g, m, ops, opt)
+}
+
+// Blocks partitions the operators into independent scheduling blocks. An
+// operator v is a separator when every other operator is an ancestor or a
+// descendant of v; blocks span consecutive separators, each block owning
+// the separator that opens it. Blocks are returned in topological order,
+// each block's operators in descending-priority order.
+func Blocks(g *graph.Graph) [][]graph.OpID {
+	n := g.NumOps()
+	order := g.ByPriority()
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	// desc[v] = number of operators reachable from v (excluding v);
+	// anc[v] likewise for ancestors. v is a separator iff
+	// anc[v] + desc[v] == n-1.
+	reachCount := func(forward bool) []int {
+		counts := make([]int, n)
+		// Bitset DP over reverse topological order.
+		words := (n + 63) / 64
+		sets := make([][]uint64, n)
+		topo, _ := g.TopoOrder()
+		seq := topo
+		if forward {
+			seq = make([]graph.OpID, n)
+			for i, v := range topo {
+				seq[n-1-i] = v
+			}
+		}
+		for _, v := range seq {
+			set := make([]uint64, words)
+			visit := func(u graph.OpID) {
+				set[u/64] |= 1 << (uint(u) % 64)
+				for w := 0; w < words; w++ {
+					set[w] |= sets[u][w]
+				}
+			}
+			if forward {
+				g.Succs(v, func(u graph.OpID, _ float64) { visit(u) })
+			} else {
+				g.Preds(v, func(u graph.OpID, _ float64) { visit(u) })
+			}
+			sets[v] = set
+			c := 0
+			for w := 0; w < words; w++ {
+				c += popcount(set[w])
+			}
+			counts[v] = c
+		}
+		return counts
+	}
+	desc := reachCount(true)
+	anc := reachCount(false)
+
+	var seps []graph.OpID
+	for v := 0; v < n; v++ {
+		if anc[v]+desc[v] == n-1 {
+			seps = append(seps, graph.OpID(v))
+		}
+	}
+	sort.Slice(seps, func(i, j int) bool { return pos[seps[i]] < pos[seps[j]] })
+
+	// Assign each operator to the block opened by the latest separator
+	// that is an ancestor-or-self of it; since separators are totally
+	// ordered, priority position decides.
+	var blocks [][]graph.OpID
+	if len(seps) == 0 {
+		blocks = [][]graph.OpID{append([]graph.OpID(nil), order...)}
+		return blocks
+	}
+	sepPos := make([]int, len(seps))
+	for i, sv := range seps {
+		sepPos[i] = pos[sv]
+	}
+	nblocks := len(seps)
+	first := 0
+	if sepPos[0] > 0 {
+		nblocks++ // operators before the first separator
+		first = 1
+	}
+	blocks = make([][]graph.OpID, nblocks)
+	for _, v := range order {
+		p := pos[v]
+		// Find the last separator with position <= p.
+		idx := sort.Search(len(sepPos), func(i int) bool { return sepPos[i] > p }) - 1
+		blocks[first+idx] = append(blocks[first+idx], v)
+	}
+	// Drop any empty block (can happen when consecutive separators are
+	// adjacent) — none should be empty by construction, but be safe.
+	out := blocks[:0]
+	for _, b := range blocks {
+		if len(b) > 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

@@ -1,0 +1,113 @@
+// Package lp implements HIOS-LP, the paper's headline algorithm
+// (Algorithm 1): hierarchical inter-operator scheduling based on iterative
+// longest-path mapping across GPUs, followed by sliding-window intra-GPU
+// parallelization (Algorithm 2, package window).
+//
+// Spatial mapping: the algorithm repeatedly extracts the longest valid path
+// from the still-unscheduled part of the computation graph — valid meaning
+// its interior vertices have no dependency with already-scheduled operators
+// — and tries mapping the whole path onto each GPU in turn. Placing a path
+// on one GPU eliminates every transfer along it, which is why the path
+// length counts both operator times and transfer times. The GPU giving the
+// lowest end-to-end latency of the partial schedule wins.
+//
+// Temporal placement: after every trial mapping, all scheduled operators
+// are re-placed in descending order of their priority indicators (the
+// longest weighted path to the model's output, a topological order), each
+// starting at the earliest time its GPU and its inputs allow.
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/sched"
+	"github.com/shus-lab/hios/internal/sched/window"
+)
+
+// Options configures HIOS-LP.
+type Options struct {
+	// GPUs is M, the number of homogeneous devices. Must be >= 1.
+	GPUs int
+	// Window is the maximum window size w of the intra-GPU pass.
+	// Zero selects window.DefaultSize.
+	Window int
+	// InterOnly skips Algorithm 2, yielding the "inter-GPU w/ LP" curve
+	// of the paper's figures.
+	InterOnly bool
+}
+
+// Schedule runs HIOS-LP on g under cost model m.
+func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
+	if opt.GPUs < 1 {
+		return sched.Result{}, fmt.Errorf("lp: need at least 1 GPU, got %d", opt.GPUs)
+	}
+	w := opt.Window
+	if w == 0 {
+		w = window.DefaultSize
+	}
+	n := g.NumOps()
+	if n == 0 {
+		return sched.Result{Schedule: sched.New(opt.GPUs), Latency: 0}, nil
+	}
+
+	// Priority indicators over the original graph, computed once.
+	prio := g.PriorityIndicators()
+	order := g.ByPriorityWith(prio)
+
+	unscheduled := make([]bool, n)
+	for i := range unscheduled {
+		unscheduled[i] = true
+	}
+	place := make([]int, n)
+	for i := range place {
+		place[i] = -1
+	}
+
+	remaining := n
+	for remaining > 0 {
+		path, _ := g.LongestValidPath(unscheduled)
+		if len(path) == 0 {
+			return sched.Result{}, fmt.Errorf("lp: no path found with %d operators unscheduled", remaining)
+		}
+		for _, v := range path {
+			unscheduled[v] = false
+		}
+		remaining -= len(path)
+
+		// Try the whole path on every GPU; keep the mapping with the
+		// lowest latency of the scheduled subgraph (ties: lowest GPU
+		// index, which also exploits GPU homogeneity for the first
+		// path — every device is equivalent, so GPU 0 wins).
+		best := math.Inf(1)
+		bestGPU := 0
+		for gi := 0; gi < opt.GPUs; gi++ {
+			for _, v := range path {
+				place[v] = gi
+			}
+			s := sched.FromPlacement(opt.GPUs, order, place)
+			lat, err := sched.LatencyPartial(g, m, s)
+			if err != nil {
+				return sched.Result{}, fmt.Errorf("lp: trial mapping on GPU %d: %w", gi, err)
+			}
+			if lat < best {
+				best, bestGPU = lat, gi
+			}
+		}
+		for _, v := range path {
+			place[v] = bestGPU
+		}
+	}
+
+	s := sched.FromPlacement(opt.GPUs, order, place)
+	lat, err := sched.Latency(g, m, s)
+	if err != nil {
+		return sched.Result{}, err
+	}
+	if opt.InterOnly {
+		return sched.Result{Schedule: s, Latency: lat}, nil
+	}
+	return window.Parallelize(g, m, s, w)
+}

@@ -1,0 +1,29 @@
+package sched
+
+import "github.com/shus-lab/hios/internal/graph"
+
+// FromPlacement builds the singleton-stage schedule that the paper's
+// "temporal operator scheduling" step produces (Algorithm 1, lines 10–13):
+// operators are appended to their assigned GPUs in the given order (the
+// descending-priority topological order), one stage per operator, so that
+// each runs at its earliest available start time given sequential execution
+// per GPU. Operators with place < 0 (still unscheduled) are skipped.
+func FromPlacement(nGPUs int, order []graph.OpID, place []int) *Schedule {
+	s := New(nGPUs)
+	for _, op := range order {
+		if g := place[op]; g >= 0 {
+			s.Append(g, op)
+		}
+	}
+	return s
+}
+
+// Sequential builds the one-GPU, one-operator-per-stage schedule over the
+// given topological order: the paper's "sequential scheduling" baseline.
+func Sequential(order []graph.OpID) *Schedule {
+	s := New(1)
+	for _, op := range order {
+		s.Append(0, op)
+	}
+	return s
+}

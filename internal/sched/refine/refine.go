@@ -1,0 +1,131 @@
+// Package refine implements a local-search post-pass over operator
+// placements: an extension beyond the paper. Starting from any complete
+// schedule (typically HIOS-LP's), it repeatedly tries moving a single
+// operator to a different GPU — re-placing everything temporally with the
+// same descending-priority rule — and commits moves that reduce latency,
+// until a full sweep finds no improvement or the move budget runs out.
+//
+// The pass quantifies how much latency the one-shot heuristics leave on
+// the table (see the optimality-gap study), and doubles as a repair tool
+// for externally supplied placements. Like Algorithm 2 it is monotone:
+// the result is never worse than the input.
+package refine
+
+import (
+	"fmt"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/sched"
+	"github.com/shus-lab/hios/internal/sched/window"
+)
+
+// Options configures the local search.
+type Options struct {
+	// MaxMoves bounds the number of committed moves (0 = 4·|V|).
+	MaxMoves int
+	// Window, when positive, re-runs the Algorithm 2 sliding-window
+	// pass after the placement search with the given window size.
+	Window int
+}
+
+// Result extends sched.Result with search statistics.
+type Result struct {
+	sched.Result
+	// Moves is the number of committed operator relocations.
+	Moves int
+	// Sweeps is the number of full passes over the operators.
+	Sweeps int
+}
+
+// Improve runs the local search on schedule s of graph g. The input
+// schedule must be complete; it is not modified. Grouped stages in the
+// input are dissolved back to singletons for the placement search (the
+// optional Window pass rebuilds groups afterwards).
+func Improve(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (Result, error) {
+	if err := sched.Validate(g, s); err != nil {
+		return Result{}, fmt.Errorf("refine: %w", err)
+	}
+	n := g.NumOps()
+	gpus := s.NumGPUs()
+	if gpus < 2 || n == 0 {
+		lat, err := sched.Latency(g, m, s)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Result: sched.Result{Schedule: s.Clone(), Latency: lat}}, nil
+	}
+	maxMoves := opt.MaxMoves
+	if maxMoves <= 0 {
+		maxMoves = 4 * n
+	}
+
+	order := g.ByPriority()
+	place := s.Placement(n)
+	cur := sched.FromPlacement(gpus, order, place)
+	curLat, err := sched.Latency(g, m, cur)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{}
+	improved := true
+	for improved && res.Moves < maxMoves {
+		improved = false
+		res.Sweeps++
+		for _, v := range order {
+			if res.Moves >= maxMoves {
+				break
+			}
+			home := place[v]
+			bestLat := curLat
+			bestGPU := home
+			for gi := 0; gi < gpus; gi++ {
+				if gi == home {
+					continue
+				}
+				place[v] = gi
+				cand := sched.FromPlacement(gpus, order, place)
+				lat, err := sched.Latency(g, m, cand)
+				if err != nil {
+					return Result{}, err
+				}
+				if lat < bestLat {
+					bestLat, bestGPU = lat, gi
+				}
+			}
+			place[v] = bestGPU
+			if bestGPU != home {
+				curLat = bestLat
+				res.Moves++
+				improved = true
+			}
+		}
+	}
+
+	final := sched.FromPlacement(gpus, order, place)
+	lat, err := sched.Latency(g, m, final)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Result = sched.Result{Schedule: final, Latency: lat}
+	if opt.Window > 1 {
+		wres, err := window.Parallelize(g, m, final, opt.Window)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Result = wres
+	}
+	// Monotonicity guard: dissolving the input's concurrent stages for
+	// the placement search can cost more than the search recovers; never
+	// return something worse than the input.
+	inputLat, err := sched.Latency(g, m, s)
+	if err != nil {
+		return Result{}, err
+	}
+	if inputLat < res.Latency {
+		res.Result = sched.Result{Schedule: s.Clone(), Latency: inputLat}
+		res.Moves = 0
+	}
+	return res, nil
+}

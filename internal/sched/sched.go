@@ -1,0 +1,179 @@
+// Package sched defines the schedule representation of §III-A of the HIOS
+// paper and the evaluator that computes a schedule's inference latency
+// under the precedence constraint of §III-B.
+//
+// A Schedule Q = {Q_i | 1 <= i <= M} assigns every operator of a
+// computation graph to one of M homogeneous GPUs and partitions each GPU's
+// operators into an ordered list of stages. Stages on one GPU execute
+// sequentially; the operators inside one stage are independent and start
+// simultaneously (one CUDA stream each). A stage may start only when every
+// input of every member is available on its GPU, where an input produced on
+// a different GPU additionally pays the transfer time t(u, v).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/shus-lab/hios/internal/graph"
+)
+
+// Stage is one set of operators executed concurrently on a single GPU.
+type Stage struct {
+	// Ops holds the member operators, kept sorted by ID.
+	Ops []graph.OpID
+}
+
+// clone returns a deep copy of the stage.
+func (s Stage) clone() Stage {
+	ops := make([]graph.OpID, len(s.Ops))
+	copy(ops, s.Ops)
+	return Stage{Ops: ops}
+}
+
+// GPUSchedule is the ordered stage list Q_i of one GPU.
+type GPUSchedule struct {
+	Stages []Stage
+}
+
+// Schedule is a complete mapping of a computation graph onto at most
+// len(GPUs) homogeneous GPUs.
+type Schedule struct {
+	GPUs []GPUSchedule
+}
+
+// New returns an empty schedule over m GPUs.
+func New(m int) *Schedule {
+	return &Schedule{GPUs: make([]GPUSchedule, m)}
+}
+
+// NumGPUs returns the number of GPUs the schedule spans (including idle
+// ones).
+func (s *Schedule) NumGPUs() int { return len(s.GPUs) }
+
+// UsedGPUs returns how many GPUs run at least one operator.
+func (s *Schedule) UsedGPUs() int {
+	n := 0
+	for _, q := range s.GPUs {
+		if len(q.Stages) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NumStages returns the total stage count across GPUs.
+func (s *Schedule) NumStages() int {
+	n := 0
+	for _, q := range s.GPUs {
+		n += len(q.Stages)
+	}
+	return n
+}
+
+// NumOps returns the total number of scheduled operators.
+func (s *Schedule) NumOps() int {
+	n := 0
+	for _, q := range s.GPUs {
+		for _, st := range q.Stages {
+			n += len(st.Ops)
+		}
+	}
+	return n
+}
+
+// Append adds op as a new singleton stage at the end of GPU g's stage list.
+func (s *Schedule) Append(g int, op graph.OpID) {
+	s.GPUs[g].Stages = append(s.GPUs[g].Stages, Stage{Ops: []graph.OpID{op}})
+}
+
+// AppendStage adds a full stage at the end of GPU g's stage list. The op
+// list is copied and sorted.
+func (s *Schedule) AppendStage(g int, ops []graph.OpID) {
+	cp := make([]graph.OpID, len(ops))
+	copy(cp, ops)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	s.GPUs[g].Stages = append(s.GPUs[g].Stages, Stage{Ops: cp})
+}
+
+// Clone returns a deep copy of the schedule.
+func (s *Schedule) Clone() *Schedule {
+	ns := New(len(s.GPUs))
+	for i, q := range s.GPUs {
+		ns.GPUs[i].Stages = make([]Stage, len(q.Stages))
+		for j, st := range q.Stages {
+			ns.GPUs[i].Stages[j] = st.clone()
+		}
+	}
+	return ns
+}
+
+// Placement returns op -> GPU index for a graph with n operators;
+// unscheduled operators map to -1. An operator appearing twice is reported
+// by Validate, not here.
+func (s *Schedule) Placement(n int) []int {
+	place := make([]int, n)
+	for i := range place {
+		place[i] = -1
+	}
+	for g, q := range s.GPUs {
+		for _, st := range q.Stages {
+			for _, op := range st.Ops {
+				if int(op) < n {
+					place[op] = g
+				}
+			}
+		}
+	}
+	return place
+}
+
+// StageOf returns, for each operator, the (gpu, stage index) holding it;
+// (-1, -1) when unscheduled.
+func (s *Schedule) StageOf(n int) (gpu []int, stage []int) {
+	gpu = make([]int, n)
+	stage = make([]int, n)
+	for i := 0; i < n; i++ {
+		gpu[i], stage[i] = -1, -1
+	}
+	for g, q := range s.GPUs {
+		for j, st := range q.Stages {
+			for _, op := range st.Ops {
+				if int(op) < n {
+					gpu[op], stage[op] = g, j
+				}
+			}
+		}
+	}
+	return gpu, stage
+}
+
+// String renders the schedule in the paper's notation, e.g.
+// Q = {Q_1: [{a}, {d e}], Q_2: [{b c}, {f}]}.
+func (s *Schedule) String() string {
+	out := "Q{"
+	for g, q := range s.GPUs {
+		if len(q.Stages) == 0 {
+			continue
+		}
+		if len(out) > 2 {
+			out += " "
+		}
+		out += fmt.Sprintf("Q%d:[", g+1)
+		for j, st := range q.Stages {
+			if j > 0 {
+				out += " "
+			}
+			out += "{"
+			for k, op := range st.Ops {
+				if k > 0 {
+					out += " "
+				}
+				out += fmt.Sprint(int(op))
+			}
+			out += "}"
+		}
+		out += "]"
+	}
+	return out + "}"
+}

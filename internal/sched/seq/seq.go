@@ -1,0 +1,23 @@
+// Package seq implements the paper's "sequential scheduling" baseline:
+// operators execute one by one, in a topological order, on a single GPU
+// (§V-B). Its latency is the sum of all operator execution times — no
+// transfers are paid and no concurrency is exploited.
+package seq
+
+import (
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/sched"
+)
+
+// Schedule returns the sequential baseline schedule for g, using the
+// descending-priority topological order for determinism and parity with
+// the other algorithms.
+func Schedule(g *graph.Graph, m cost.Model) (sched.Result, error) {
+	s := sched.Sequential(g.ByPriority())
+	lat, err := sched.Latency(g, m, s)
+	if err != nil {
+		return sched.Result{}, err
+	}
+	return sched.Result{Schedule: s, Latency: lat}, nil
+}

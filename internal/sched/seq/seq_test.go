@@ -1,0 +1,45 @@
+package seq
+
+import (
+	"testing"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/randdag"
+	"github.com/shus-lab/hios/internal/sched"
+)
+
+func TestLatencyIsSumOfOpTimes(t *testing.T) {
+	cfg := randdag.Paper()
+	cfg.Ops, cfg.Layers, cfg.Deps = 50, 7, 100
+	g := randdag.MustGenerate(cfg)
+	m := cost.FromGraph(g, cost.DefaultContention())
+	res, err := Schedule(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := res.Latency - g.TotalOpTime(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sequential latency %g != sum of op times %g", res.Latency, g.TotalOpTime())
+	}
+	if err := sched.Validate(g, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.UsedGPUs() != 1 {
+		t.Fatal("sequential baseline must use exactly one GPU")
+	}
+	for _, st := range res.Schedule.GPUs[0].Stages {
+		if len(st.Ops) != 1 {
+			t.Fatal("sequential stages must be singletons")
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.New(0, 0)
+	g.MustFinalize()
+	m := cost.FromGraph(g, cost.DefaultContention())
+	res, err := Schedule(g, m)
+	if err != nil || res.Latency != 0 {
+		t.Fatalf("empty graph: %+v %v", res, err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package window implements Algorithm 2 of the HIOS paper: intra-GPU
+// inter-operator parallelization with a sliding window.
+//
+// Given a schedule that already maps operators to GPUs with sequential
+// (singleton-stage) execution on each GPU, the pass slides a window of up
+// to w consecutive operators along each GPU's execution order, in
+// descending-priority order of the window's first operator. When all
+// operators under the window are independent, it tentatively fuses them
+// into one concurrent stage, rejects the fusion if it would create a cycle
+// in the scheduled computation graph (an implicit cross-GPU dependency
+// loop), reschedules everything at the earliest start times, and commits
+// the fusion only when the end-to-end latency improves. The pass is
+// therefore monotone: it never increases latency.
+//
+// Unlike IOS's exact exponential dynamic program, this pass is polynomial —
+// O(w²·|V|·|E|³) in the paper's (loose) bound — and it accounts for
+// cross-GPU dependencies, which single-GPU IOS cannot see.
+package window
+
+import (
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/sched"
+	"github.com/shus-lab/hios/internal/sched/ios"
+)
+
+// DefaultSize is the default maximum window size w. The paper's examples
+// use w = 2; real CNN stages rarely benefit beyond 4 concurrent operators
+// on one device before contention dominates.
+const DefaultSize = 4
+
+// ParallelizeFixpoint repeats the Algorithm 2 pass until a full sweep
+// yields no further improvement (or maxRounds sweeps have run; 0 means
+// unlimited). The paper runs a single sweep; because each sweep is
+// monotone, iterating converges, and on wide graphs a second sweep
+// occasionally finds fusions enabled by the first sweep's reshuffled
+// stage positions.
+func ParallelizeFixpoint(g *graph.Graph, m cost.Model, s *sched.Schedule, w, maxRounds int) (sched.Result, error) {
+	cur, err := Parallelize(g, m, s, w)
+	if err != nil {
+		return sched.Result{}, err
+	}
+	for round := 1; maxRounds == 0 || round < maxRounds; round++ {
+		next, err := Parallelize(g, m, cur.Schedule, w)
+		if err != nil {
+			return sched.Result{}, err
+		}
+		if next.Latency >= cur.Latency-1e-12 {
+			return cur, nil
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Parallelize runs Algorithm 2 over schedule s and returns the improved
+// schedule and its latency. The input schedule is not modified. w is the
+// maximum window size; values below 2 disable fusion and simply evaluate s.
+func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.Result, error) {
+	cur := s.Clone()
+	curLat, err := sched.Latency(g, m, cur)
+	if err != nil {
+		return sched.Result{}, err
+	}
+	if w < 2 {
+		return sched.Result{Schedule: cur, Latency: curLat}, nil
+	}
+
+	order := g.ByPriority()
+	for i := 0; i < len(order)-1; i++ {
+		v := order[i]
+		gpuOf, stageOf := cur.StageOf(g.NumOps())
+		gi, si := gpuOf[v], stageOf[v]
+		if gi < 0 {
+			continue // unscheduled operator (partial schedules in tests)
+		}
+		stages := cur.GPUs[gi].Stages
+		if len(stages[si].Ops) > 1 {
+			// v has already been grouped into a concurrent stage;
+			// the paper's walk-through skips such operators.
+			continue
+		}
+		// Try window sizes p+1 = 2..w and keep the best improvement.
+		bestLat := curLat
+		var bestSched *sched.Schedule
+		for p := 1; p <= w-1; p++ {
+			if si+p >= len(stages) {
+				break
+			}
+			// The window masks w consecutive *operators* on this
+			// GPU; a multi-operator stage in range means those
+			// positions are already fused, so the run of singleton
+			// stages ends here.
+			if len(stages[si+p].Ops) > 1 {
+				break
+			}
+			members := make([]graph.OpID, 0, p+1)
+			for k := si; k <= si+p; k++ {
+				members = append(members, stages[k].Ops...)
+			}
+			if hasDirectEdge(g, members) {
+				// Directly dependent operators can never share
+				// a stage; a larger window containing the same
+				// pair cannot either.
+				break
+			}
+			cand := fuse(cur, gi, si, p)
+			lat, err := sched.Latency(g, m, cand)
+			if err != nil {
+				// The fusion created a dependency cycle in the
+				// scheduled computation graph (Algorithm 2,
+				// line 10 rejects this candidate). Larger
+				// windows contain this one, so stop extending.
+				break
+			}
+			if lat < bestLat {
+				bestLat, bestSched = lat, cand
+			}
+		}
+		if bestSched != nil {
+			cur, curLat = bestSched, bestLat
+		}
+	}
+	return sched.Result{Schedule: cur, Latency: curLat}, nil
+}
+
+// ExactPerGPU is the §IV-B counterfactual: instead of the sliding window,
+// run the exact IOS dynamic program independently on each GPU's operator
+// sequence, ignoring cross-GPU dependencies — which is precisely what the
+// paper says cannot work well. When the per-GPU decompositions compose
+// into a valid (deadlock-free) global schedule AND improve latency, the
+// improvement is kept per GPU; otherwise that GPU keeps sequential
+// execution. The return value lets the ablation quantify how often the
+// cross-GPU-blind approach mis-fires and how it compares to Parallelize.
+func ExactPerGPU(g *graph.Graph, m cost.Model, s *sched.Schedule, iosOpt ios.Options) (sched.Result, error) {
+	cur := s.Clone()
+	curLat, err := sched.Latency(g, m, cur)
+	if err != nil {
+		return sched.Result{}, err
+	}
+	for gi := range cur.GPUs {
+		var ops []graph.OpID
+		for _, st := range cur.GPUs[gi].Stages {
+			ops = append(ops, st.Ops...)
+		}
+		if len(ops) < 2 {
+			continue
+		}
+		stages, err := ios.SolveSequence(g, m, ops, iosOpt)
+		if err != nil {
+			return sched.Result{}, err
+		}
+		cand := cur.Clone()
+		cand.GPUs[gi].Stages = nil
+		for _, st := range stages {
+			cand.AppendStage(gi, st)
+		}
+		lat, err := sched.Latency(g, m, cand)
+		if err != nil {
+			// The per-GPU optimum deadlocks against cross-GPU
+			// dependencies — the failure mode the paper predicts.
+			// Keep this GPU's previous decomposition.
+			continue
+		}
+		if lat < curLat {
+			cur, curLat = cand, lat
+		}
+	}
+	return sched.Result{Schedule: cur, Latency: curLat}, nil
+}
+
+// hasDirectEdge reports whether any pair of members is directly dependent.
+// Transitive dependencies (paths through operators outside the window) are
+// caught by the cycle check during evaluation.
+func hasDirectEdge(g *graph.Graph, members []graph.OpID) bool {
+	for i := 0; i < len(members); i++ {
+		for j := 0; j < len(members); j++ {
+			if i != j && g.HasEdge(members[i], members[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fuse returns a copy of s in which stages si..si+p on GPU gi are merged
+// into a single stage at position si, preserving the execution order of
+// everything else.
+func fuse(s *sched.Schedule, gi, si, p int) *sched.Schedule {
+	ns := s.Clone()
+	stages := ns.GPUs[gi].Stages
+	var members []graph.OpID
+	for k := si; k <= si+p; k++ {
+		members = append(members, stages[k].Ops...)
+	}
+	merged := make([]sched.Stage, 0, len(stages)-p)
+	merged = append(merged, stages[:si]...)
+	merged = append(merged, sched.Stage{Ops: members})
+	merged = append(merged, stages[si+p+1:]...)
+	ns.GPUs[gi].Stages = merged
+	// Keep members sorted for deterministic output.
+	ops := merged[si].Ops
+	for a := 1; a < len(ops); a++ {
+		for b := a; b > 0 && ops[b] < ops[b-1]; b-- {
+			ops[b], ops[b-1] = ops[b-1], ops[b]
+		}
+	}
+	return ns
+}

@@ -1,0 +1,269 @@
+// Package sim is a deterministic discrete-event simulator that executes a
+// schedule against a cost model, device by device, event by event. It is
+// the substitute for the paper's physical dual-A40 testbed: stages run
+// sequentially on their GPU, the operators of a stage launch together and
+// occupy the device for the cost model's t(S), and a tensor crossing GPUs
+// arrives t(u, v) after its producer stage finishes.
+//
+// The engine is redundant with the analytic evaluator in package sched by
+// design — the two compute the same makespan through entirely different
+// mechanisms, which the test suite exploits as a cross-check — and it
+// additionally produces a full per-stage timeline for trace export.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/sched"
+)
+
+// StageRecord is one executed stage in the timeline.
+type StageRecord struct {
+	GPU    int
+	Index  int
+	Ops    []graph.OpID
+	Start  float64
+	Finish float64
+}
+
+// TransferRecord is one inter-GPU tensor transfer in the timeline.
+type TransferRecord struct {
+	From, To       graph.OpID
+	FromGPU, ToGPU int
+	Depart, Arrive float64
+}
+
+// Trace is the full simulated execution.
+type Trace struct {
+	Latency   float64
+	Stages    []StageRecord
+	Transfers []TransferRecord
+}
+
+// event is a pending simulator event.
+type event struct {
+	at   float64
+	kind int // 0: stage finish, 1: transfer arrival
+	seq  int // tie-break for determinism
+	gpu  int // stage finish: which GPU
+	xfer int // transfer arrival: index into pending transfers
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h eventHeap) Peek() (event, bool) {
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}
+
+// Options controls simulation fidelity.
+type Options struct {
+	// SerializeLinks models each directed GPU pair's interconnect as a
+	// single shared resource: concurrent transfers between the same
+	// pair of devices queue FIFO instead of overlapping. The analytic
+	// cost model (paper §III-A) — and therefore every scheduler —
+	// assumes contention-free links; real platforms with one NVLink
+	// bridge do not behave that way, which is one reason measured
+	// latencies diverge from scheduler estimates. Off by default so
+	// that Run agrees exactly with sched.Evaluate.
+	SerializeLinks bool
+}
+
+// Run simulates schedule s for graph g under cost model m with default
+// options: contention-free links, matching the analytic evaluator.
+func Run(g *graph.Graph, m cost.Model, s *sched.Schedule) (*Trace, error) {
+	return RunOpts(g, m, s, Options{})
+}
+
+// RunOpts simulates schedule s for graph g under cost model m. The
+// schedule must be complete and valid; a deadlocked schedule (cyclic stage
+// dependencies) is reported as an error, mirroring the evaluator.
+func RunOpts(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (*Trace, error) {
+	if err := sched.Validate(g, s); err != nil {
+		return nil, err
+	}
+	n := g.NumOps()
+	gpuOf, stageOf := s.StageOf(n)
+
+	// For each stage, how many cross-GPU tensor arrivals it awaits, and
+	// per-GPU sequential positions.
+	type stageKey struct{ gpu, idx int }
+	waiting := make(map[stageKey]int)
+	// Dedupe transfers by (producer op, destination GPU): the runtime
+	// sends each tensor to each remote GPU once, however many consumers
+	// live there.
+	type xferKey struct {
+		op     graph.OpID
+		dstGPU int
+	}
+	consumers := make(map[xferKey][]graph.OpID)
+	for _, e := range g.Edges() {
+		gu, gv := gpuOf[e.From], gpuOf[e.To]
+		if gu == gv {
+			continue
+		}
+		k := xferKey{op: e.From, dstGPU: gv}
+		consumers[k] = append(consumers[k], e.To)
+	}
+	// Each distinct transfer blocks every consumer stage on the
+	// destination GPU.
+	type pendingXfer struct {
+		from       graph.OpID
+		fromGPU    int
+		toGPU      int
+		comm       float64
+		dstStages  []stageKey
+		consumerOp graph.OpID // representative consumer, for the record
+	}
+	xfersByProducer := make(map[graph.OpID][]int)
+	var xfers []pendingXfer
+	// Deterministic iteration order over the consumers map.
+	var xkeys []xferKey
+	for k := range consumers {
+		xkeys = append(xkeys, k)
+	}
+	sort.Slice(xkeys, func(i, j int) bool {
+		if xkeys[i].op != xkeys[j].op {
+			return xkeys[i].op < xkeys[j].op
+		}
+		return xkeys[i].dstGPU < xkeys[j].dstGPU
+	})
+	for _, k := range xkeys {
+		cs := consumers[k]
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+		seen := make(map[stageKey]bool)
+		px := pendingXfer{
+			from:       k.op,
+			fromGPU:    gpuOf[k.op],
+			toGPU:      k.dstGPU,
+			comm:       cost.CommBetween(m, k.op, cs[0], gpuOf[k.op], k.dstGPU),
+			consumerOp: cs[0],
+		}
+		for _, c := range cs {
+			sk := stageKey{gpu: gpuOf[c], idx: stageOf[c]}
+			if !seen[sk] {
+				seen[sk] = true
+				px.dstStages = append(px.dstStages, sk)
+				waiting[sk]++
+			}
+		}
+		xfersByProducer[k.op] = append(xfersByProducer[k.op], len(xfers))
+		xfers = append(xfers, px)
+	}
+
+	tr := &Trace{}
+	next := make([]int, len(s.GPUs)) // next stage index per GPU
+	busyUntil := make([]float64, len(s.GPUs))
+	started := make([]bool, len(s.GPUs)) // whether next[gpu] is running
+	// linkFree[src][dst] is when the directed link src->dst next becomes
+	// idle, used only under SerializeLinks.
+	linkFree := make([][]float64, len(s.GPUs))
+	for i := range linkFree {
+		linkFree[i] = make([]float64, len(s.GPUs))
+	}
+	now := 0.0
+	seq := 0
+	var h eventHeap
+
+	startReady := func(gpu int) {
+		if started[gpu] || next[gpu] >= len(s.GPUs[gpu].Stages) {
+			return
+		}
+		sk := stageKey{gpu: gpu, idx: next[gpu]}
+		if waiting[sk] > 0 {
+			return
+		}
+		ops := s.GPUs[gpu].Stages[next[gpu]].Ops
+		start := now
+		if busyUntil[gpu] > start {
+			start = busyUntil[gpu]
+		}
+		dur := m.StageTime(ops)
+		finish := start + dur
+		busyUntil[gpu] = finish
+		started[gpu] = true
+		tr.Stages = append(tr.Stages, StageRecord{
+			GPU: gpu, Index: next[gpu], Ops: ops, Start: start, Finish: finish,
+		})
+		heap.Push(&h, event{at: finish, kind: 0, seq: seq, gpu: gpu})
+		seq++
+	}
+
+	for gpu := range s.GPUs {
+		startReady(gpu)
+	}
+
+	done := 0
+	total := s.NumStages()
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		now = ev.at
+		switch ev.kind {
+		case 0: // stage finished on ev.gpu
+			stage := s.GPUs[ev.gpu].Stages[next[ev.gpu]]
+			done++
+			// Launch outbound transfers for every member's tensors.
+			for _, op := range stage.Ops {
+				for _, xi := range xfersByProducer[op] {
+					x := xfers[xi]
+					depart := now
+					if opt.SerializeLinks {
+						if f := linkFree[x.fromGPU][x.toGPU]; f > depart {
+							depart = f
+						}
+						linkFree[x.fromGPU][x.toGPU] = depart + x.comm
+					}
+					arrive := depart + x.comm
+					tr.Transfers = append(tr.Transfers, TransferRecord{
+						From: x.from, To: x.consumerOp,
+						FromGPU: x.fromGPU, ToGPU: x.toGPU,
+						Depart: depart, Arrive: arrive,
+					})
+					heap.Push(&h, event{at: arrive, kind: 1, seq: seq, xfer: xi})
+					seq++
+				}
+			}
+			if now > tr.Latency {
+				tr.Latency = now
+			}
+			next[ev.gpu]++
+			started[ev.gpu] = false
+			startReady(ev.gpu)
+		case 1: // transfer arrived
+			x := xfers[ev.xfer]
+			for _, sk := range x.dstStages {
+				waiting[sk]--
+			}
+			startReady(x.toGPU)
+		}
+	}
+	if done != total {
+		return nil, fmt.Errorf("sim: deadlock, %d of %d stages executed: %w", done, total, graph.ErrCycle)
+	}
+	sort.Slice(tr.Stages, func(i, j int) bool {
+		if tr.Stages[i].Start != tr.Stages[j].Start {
+			return tr.Stages[i].Start < tr.Stages[j].Start
+		}
+		if tr.Stages[i].GPU != tr.Stages[j].GPU {
+			return tr.Stages[i].GPU < tr.Stages[j].GPU
+		}
+		return tr.Stages[i].Index < tr.Stages[j].Index
+	})
+	return tr, nil
+}

@@ -1,0 +1,90 @@
+// Package stats provides the small statistical helpers the experiment
+// harness reports with: each data point in the paper is the average of 30
+// simulated instances (or 36 measured runs) with standard deviations.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean, 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (n-1 denominator), 0 for
+// fewer than two samples.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Min returns the minimum, +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum, -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Speedup returns base/x: how many times faster x is than base.
+// It returns 0 when x is 0.
+func Speedup(base, x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return base / x
+}
+
+// Sample accumulates observations and reports summary statistics.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean.
+func (s *Sample) Mean() float64 { return Mean(s.xs) }
+
+// Std returns the sample standard deviation.
+func (s *Sample) Std() float64 { return Std(s.xs) }
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 { return Min(s.xs) }
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 { return Max(s.xs) }
+
+// Values returns the raw observations (not a copy).
+func (s *Sample) Values() []float64 { return s.xs }

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTWithSchedule(t *testing.T) {
+	g, _, s, _ := fixture(t)
+	out := DOT(g, s)
+	if !strings.HasPrefix(out, "digraph hios {") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a digraph:\n%s", out)
+	}
+	if !strings.Contains(out, "cluster_gpu0") || !strings.Contains(out, "cluster_gpu1") {
+		t.Fatal("missing GPU clusters")
+	}
+	// Every operator appears exactly once as a node-definition line
+	// (a line holding a label but no edge arrow).
+	defs := map[string]int{}
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "n") && strings.Contains(line, "[label=") && !strings.Contains(line, "->") {
+			name := line[:strings.IndexByte(line, ' ')]
+			defs[name]++
+		}
+	}
+	if len(defs) != g.NumOps() {
+		t.Fatalf("node definitions = %d, want %d", len(defs), g.NumOps())
+	}
+	for name, c := range defs {
+		if c != 1 {
+			t.Fatalf("node %s defined %d times", name, c)
+		}
+	}
+	// Every edge appears.
+	if strings.Count(out, "->") != g.NumEdges() {
+		t.Fatalf("edges = %d, want %d", strings.Count(out, "->"), g.NumEdges())
+	}
+}
+
+func TestDOTWithoutSchedule(t *testing.T) {
+	g, _, _, _ := fixture(t)
+	out := DOT(g, nil)
+	if strings.Contains(out, "cluster_gpu") {
+		t.Fatal("nil schedule must not produce clusters")
+	}
+	if strings.Count(out, "->") != g.NumEdges() {
+		t.Fatal("edges missing")
+	}
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"testing"
+
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/sched"
+)
+
+// FuzzUnmarshalSchedule hardens the JSON interchange path: arbitrary
+// bytes must either parse into a structurally valid schedule or return an
+// error — never panic, never produce a schedule that crashes traversal.
+func FuzzUnmarshalSchedule(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"gpus":[]}`))
+	f.Add([]byte(`{"gpus":[{"gpu":0,"stages":[{"ops":[0,1]}]}]}`))
+	f.Add([]byte(`{"gpus":[{"gpu":-1}]}`))
+	f.Add([]byte(`{"gpus":[{"gpu":3,"stages":[{"ops":[2]},{"ops":[]}]}]}`))
+	f.Add([]byte(`garbage`))
+	s := sched.New(2)
+	s.Append(0, 0)
+	s.Append(1, 1)
+	s.AppendStage(0, []graph.OpID{2, 3})
+	if data, err := MarshalSchedule(nil, s, "m", "a", 1.5); err == nil {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, meta, err := UnmarshalSchedule(data)
+		if err != nil {
+			return
+		}
+		if back == nil || meta == nil {
+			t.Fatal("nil results without error")
+		}
+		// The schedule must be safe to traverse and re-marshal.
+		_ = back.NumOps()
+		_ = back.NumStages()
+		_ = back.String()
+		if _, err := MarshalSchedule(nil, back, meta.Model, meta.Algorithm, meta.LatencyMs); err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/sim"
+)
+
+// Gantt renders a simulated execution as a fixed-width text Gantt chart,
+// one row per GPU, suitable for terminals and logs:
+//
+//	GPU0 |aaaa..bbbbbbbb----cc|
+//	GPU1 |..ddddddddeeee......|
+//
+// Each stage is drawn with a letter cycling through a-z (stage order of
+// appearance); '.' is idle time; '-' marks time where the GPU is stalled
+// waiting on a transfer or dependency after having run at least one
+// stage. width is the number of columns for the time axis (minimum 20).
+func Gantt(g *graph.Graph, tr *sim.Trace, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if tr.Latency <= 0 || len(tr.Stages) == 0 {
+		return "(empty trace)\n"
+	}
+	// Rows are GPUs; find how many.
+	maxGPU := 0
+	for _, st := range tr.Stages {
+		if st.GPU > maxGPU {
+			maxGPU = st.GPU
+		}
+	}
+	scale := float64(width) / tr.Latency
+	rows := make([][]byte, maxGPU+1)
+	firstBusy := make([]int, maxGPU+1)
+	lastBusy := make([]int, maxGPU+1)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+		firstBusy[i] = width
+		lastBusy[i] = -1
+	}
+	letter := byte('a')
+	var legend strings.Builder
+	for _, st := range tr.Stages {
+		lo := int(st.Start * scale)
+		hi := int(st.Finish * scale)
+		if hi >= width {
+			hi = width - 1
+		}
+		if hi < lo {
+			hi = lo
+		}
+		for c := lo; c <= hi && c < width; c++ {
+			rows[st.GPU][c] = letter
+		}
+		if lo < firstBusy[st.GPU] {
+			firstBusy[st.GPU] = lo
+		}
+		if hi > lastBusy[st.GPU] {
+			lastBusy[st.GPU] = hi
+		}
+		names := make([]string, len(st.Ops))
+		for i, op := range st.Ops {
+			if g != nil {
+				names[i] = g.Op(op).Name
+			} else {
+				names[i] = fmt.Sprint(int(op))
+			}
+		}
+		fmt.Fprintf(&legend, "  %c: GPU%d [%.3f, %.3f] {%s}\n",
+			letter, st.GPU, st.Start, st.Finish, strings.Join(names, " "))
+		if letter == 'z' {
+			letter = 'a'
+		} else {
+			letter++
+		}
+	}
+	// Mark interior idle gaps (stalls) distinctly from lead-in/out idle.
+	for gpu := range rows {
+		for c := firstBusy[gpu] + 1; c < lastBusy[gpu]; c++ {
+			if rows[gpu][c] == '.' {
+				rows[gpu][c] = '-'
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "0 ms %s %.3f ms\n", strings.Repeat(" ", width-4), tr.Latency)
+	for gpu, row := range rows {
+		fmt.Fprintf(&b, "GPU%-2d |%s|\n", gpu, row)
+	}
+	b.WriteString(legend.String())
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/shus-lab/hios/internal/sim"
+)
+
+func TestGanttRendersRowsAndLegend(t *testing.T) {
+	g, m, s, _ := fixture(t)
+	tr, err := sim.Run(g, m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(g, tr, 60)
+	if !strings.Contains(out, "GPU0 ") || !strings.Contains(out, "GPU1 ") {
+		t.Fatalf("missing GPU rows:\n%s", out)
+	}
+	if !strings.Contains(out, "a: GPU") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	// Every row must be exactly the requested width between the bars.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "GPU") {
+			start := strings.IndexByte(line, '|')
+			end := strings.LastIndexByte(line, '|')
+			if end-start-1 != 60 {
+				t.Fatalf("row width %d, want 60: %q", end-start-1, line)
+			}
+		}
+	}
+}
+
+func TestGanttEmptyAndNarrow(t *testing.T) {
+	if out := Gantt(nil, &sim.Trace{}, 5); !strings.Contains(out, "empty") {
+		t.Fatalf("empty trace output: %q", out)
+	}
+	g, m, s, _ := fixture(t)
+	tr, err := sim.Run(g, m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Narrow width is clamped to 20, and nil graph uses operator IDs.
+	out := Gantt(nil, tr, 1)
+	if !strings.Contains(out, "GPU0 ") {
+		t.Fatalf("narrow gantt broken:\n%s", out)
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/randdag"
+	"github.com/shus-lab/hios/internal/sched"
+	"github.com/shus-lab/hios/internal/sim"
+)
+
+// TestRenderersRobustProperty drives every renderer over random graphs and
+// random placements: JSON round trips must preserve evaluation, Chrome
+// traces must be valid JSON, and Gantt/DOT must produce non-empty output
+// without panicking, at arbitrary widths.
+func TestRenderersRobustProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randdag.Paper()
+		cfg.Ops = 5 + rng.Intn(25)
+		cfg.Layers = 2 + rng.Intn(4)
+		cfg.Deps = cfg.Ops
+		cfg.Seed = seed
+		g := randdag.MustGenerate(cfg)
+		m := cost.FromGraph(g, cost.DefaultContention())
+		gpus := 1 + rng.Intn(3)
+		place := make([]int, cfg.Ops)
+		for i := range place {
+			place[i] = rng.Intn(gpus)
+		}
+		s := sched.FromPlacement(gpus, g.ByPriority(), place)
+		lat, err := sched.Latency(g, m, s)
+		if err != nil {
+			return false
+		}
+
+		// JSON round trip.
+		data, err := MarshalSchedule(g, s, "prop", "rand", lat)
+		if err != nil {
+			return false
+		}
+		back, _, err := UnmarshalSchedule(data)
+		if err != nil {
+			return false
+		}
+		lat2, err := sched.Latency(g, m, back)
+		if err != nil || lat2 != lat {
+			return false
+		}
+
+		// Chrome trace is valid JSON.
+		tr, err := sim.RunOpts(g, m, s, sim.Options{SerializeLinks: rng.Intn(2) == 0})
+		if err != nil {
+			return false
+		}
+		ct, err := ChromeTrace(g, tr)
+		if err != nil {
+			return false
+		}
+		var events []map[string]any
+		if err := json.Unmarshal(ct, &events); err != nil {
+			return false
+		}
+
+		// Gantt and DOT render without panicking at odd widths.
+		width := 1 + rng.Intn(120)
+		if !strings.Contains(Gantt(g, tr, width), "GPU0") {
+			return false
+		}
+		dot := DOT(g, s)
+		return strings.HasPrefix(dot, "digraph") && strings.Count(dot, "->") == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package trace serializes schedules and execution timelines.
+//
+// The paper's toolchain generates operator schedules in JSON, which the
+// C++/MPI engine then loads to run inference on the real GPUs; this
+// package reproduces that interchange format and additionally emits
+// Chrome-trace timelines (chrome://tracing / Perfetto) for visual
+// inspection of a simulated execution.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/sched"
+	"github.com/shus-lab/hios/internal/sim"
+)
+
+// ScheduleJSON is the on-disk schedule format: one entry per GPU, each an
+// ordered list of stages, each a list of operator IDs (optionally with
+// names for readability).
+type ScheduleJSON struct {
+	// Model names the scheduled network.
+	Model string `json:"model"`
+	// Algorithm names the scheduler that produced it.
+	Algorithm string `json:"algorithm"`
+	// LatencyMs is the predicted inference latency.
+	LatencyMs float64 `json:"latency_ms"`
+	// GPUs holds the per-device stage lists.
+	GPUs []GPUJSON `json:"gpus"`
+}
+
+// GPUJSON is one device's schedule.
+type GPUJSON struct {
+	GPU    int         `json:"gpu"`
+	Stages []StageJSON `json:"stages"`
+}
+
+// StageJSON is one concurrent stage.
+type StageJSON struct {
+	Ops   []int    `json:"ops"`
+	Names []string `json:"names,omitempty"`
+}
+
+// MarshalSchedule renders a schedule to the JSON interchange form.
+func MarshalSchedule(g *graph.Graph, s *sched.Schedule, model, algorithm string, latency float64) ([]byte, error) {
+	out := ScheduleJSON{Model: model, Algorithm: algorithm, LatencyMs: latency}
+	for gi, q := range s.GPUs {
+		gj := GPUJSON{GPU: gi}
+		for _, st := range q.Stages {
+			sj := StageJSON{}
+			for _, op := range st.Ops {
+				sj.Ops = append(sj.Ops, int(op))
+				if g != nil {
+					sj.Names = append(sj.Names, g.Op(op).Name)
+				}
+			}
+			gj.Stages = append(gj.Stages, sj)
+		}
+		out.GPUs = append(out.GPUs, gj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalSchedule parses the JSON interchange form back into a Schedule.
+func UnmarshalSchedule(data []byte) (*sched.Schedule, *ScheduleJSON, error) {
+	var sj ScheduleJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return nil, nil, fmt.Errorf("trace: parsing schedule JSON: %w", err)
+	}
+	maxGPU := -1
+	for _, g := range sj.GPUs {
+		if g.GPU < 0 {
+			return nil, nil, fmt.Errorf("trace: negative GPU index %d", g.GPU)
+		}
+		if g.GPU > maxGPU {
+			maxGPU = g.GPU
+		}
+	}
+	if maxGPU < 0 {
+		return sched.New(0), &sj, nil
+	}
+	s := sched.New(maxGPU + 1)
+	for _, g := range sj.GPUs {
+		for _, st := range g.Stages {
+			ops := make([]graph.OpID, len(st.Ops))
+			for i, o := range st.Ops {
+				ops[i] = graph.OpID(o)
+			}
+			s.AppendStage(g.GPU, ops)
+		}
+	}
+	return s, &sj, nil
+}
+
+// chromeEvent is one Chrome-trace "complete" event.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// ChromeTrace renders a simulated execution as a Chrome-trace JSON array:
+// one process per GPU, stages as duration events, transfers on a separate
+// "link" track.
+func ChromeTrace(g *graph.Graph, tr *sim.Trace) ([]byte, error) {
+	var events []chromeEvent
+	for _, st := range tr.Stages {
+		name := fmt.Sprintf("stage %d", st.Index)
+		if g != nil && len(st.Ops) > 0 {
+			name = ""
+			for i, op := range st.Ops {
+				if i > 0 {
+					name += "+"
+				}
+				name += g.Op(op).Name
+			}
+		}
+		events = append(events, chromeEvent{
+			Name: name,
+			Cat:  "stage",
+			Ph:   "X",
+			TS:   st.Start * 1000,
+			Dur:  (st.Finish - st.Start) * 1000,
+			PID:  st.GPU,
+			TID:  0,
+		})
+	}
+	for _, x := range tr.Transfers {
+		name := fmt.Sprintf("xfer %d->%d", x.From, x.To)
+		if g != nil {
+			name = fmt.Sprintf("%s -> GPU%d", g.Op(x.From).Name, x.ToGPU)
+		}
+		events = append(events, chromeEvent{
+			Name: name,
+			Cat:  "transfer",
+			Ph:   "X",
+			TS:   x.Depart * 1000,
+			Dur:  (x.Arrive - x.Depart) * 1000,
+			PID:  x.FromGPU,
+			TID:  1,
+		})
+	}
+	return json.MarshalIndent(events, "", " ")
+}
