@@ -22,7 +22,7 @@ import (
 	"strconv"
 	"strings"
 
-	"github.com/shus-lab/hios/internal/experiments"
+	hios "github.com/shus-lab/hios"
 )
 
 func main() {
@@ -47,20 +47,20 @@ func main() {
 
 	if want("1") {
 		ran = true
-		f := experiments.Fig1()
+		f := hios.Fig1()
 		f.Render(os.Stdout)
 		fmt.Println()
 	}
 	if want("2") {
 		ran = true
-		f := experiments.Fig2()
+		f := hios.Fig2()
 		f.Render(os.Stdout)
 		fmt.Println()
 	}
 	if want("12") {
 		ran = true
 		for _, b := range benchmarks {
-			f, err := experiments.Fig12(b, sizes)
+			f, err := hios.Fig12(b, sizes)
 			if err != nil {
 				fatal(err)
 			}
@@ -70,7 +70,7 @@ func main() {
 	}
 	if want("13") {
 		ran = true
-		f, labels, err := experiments.Fig13()
+		f, labels, err := hios.Fig13()
 		if err != nil {
 			fatal(err)
 		}
@@ -81,7 +81,7 @@ func main() {
 	if want("14") {
 		ran = true
 		for _, b := range benchmarks {
-			f, err := experiments.Fig14(b, sizes)
+			f, err := hios.Fig14(b, sizes)
 			if err != nil {
 				fatal(err)
 			}
@@ -101,46 +101,46 @@ func main() {
 // runAblations prints the four ablation studies of DESIGN.md: window
 // size, IOS pruning, link contention, and the §VI-E NCCL what-if.
 func runAblations() {
-	opt := experiments.SimOptions{Seeds: 5, GPUs: 4}
-	if f, err := experiments.AblationWindow(opt); err != nil {
+	opt := hios.SimOptions{Seeds: 5, GPUs: 4}
+	if f, err := hios.AblationWindow(opt); err != nil {
 		fatal(err)
 	} else {
 		f.Render(os.Stdout)
 		fmt.Println()
 	}
-	if f, err := experiments.AblationIOSPruning(experiments.SimOptions{Seeds: 3, GPUs: 4}); err != nil {
+	if f, err := hios.AblationIOSPruning(hios.SimOptions{Seeds: 3, GPUs: 4}); err != nil {
 		fatal(err)
 	} else {
 		f.Render(os.Stdout)
 		fmt.Println()
 	}
-	if f, err := experiments.AblationLinkContention(experiments.Inception, 1024); err != nil {
+	if f, err := hios.AblationLinkContention(hios.InceptionBenchmark, 1024); err != nil {
 		fatal(err)
 	} else {
 		fmt.Println("# x: 0 = contention-free links (cost model), 1 = serialized NVLink bridge (testbed)")
 		f.Render(os.Stdout)
 		fmt.Println()
 	}
-	if f, err := experiments.NCCLOverlap(experiments.NASNet, 331); err != nil {
+	if f, err := hios.NCCLOverlap(hios.NASNetBenchmark, 331); err != nil {
 		fatal(err)
 	} else {
 		fmt.Println("# x: 0 = CUDA-aware MPI transfers, 1 = NCCL-style transfers (launch hiding)")
 		f.Render(os.Stdout)
 		fmt.Println()
 	}
-	if f, err := experiments.OptimalityGap(10, 18); err != nil {
+	if f, err := hios.OptimalityGap(10, 18); err != nil {
 		fatal(err)
 	} else {
 		f.Render(os.Stdout)
 		fmt.Println()
 	}
-	if f, err := experiments.ClusterStudy(experiments.SimOptions{Seeds: 5, GPUs: 4}); err != nil {
+	if f, err := hios.ClusterStudy(hios.SimOptions{Seeds: 5, GPUs: 4}); err != nil {
 		fatal(err)
 	} else {
 		f.Render(os.Stdout)
 		fmt.Println()
 	}
-	if f, err := experiments.AblationIntraGPU(experiments.SimOptions{Seeds: 5, GPUs: 4}); err != nil {
+	if f, err := hios.AblationIntraGPU(hios.SimOptions{Seeds: 5, GPUs: 4}); err != nil {
 		fatal(err)
 	} else {
 		fmt.Println("# x: 0 = inter-GPU only, 1 = Algorithm 2 window, 2 = per-GPU exact IOS (cross-GPU blind)")
@@ -164,14 +164,14 @@ func parseSizes(s string) ([]int, error) {
 	return out, nil
 }
 
-func pickBenchmarks(name string) ([]experiments.Benchmark, error) {
+func pickBenchmarks(name string) ([]hios.Benchmark, error) {
 	switch name {
 	case "inception":
-		return []experiments.Benchmark{experiments.Inception}, nil
+		return []hios.Benchmark{hios.InceptionBenchmark}, nil
 	case "nasnet":
-		return []experiments.Benchmark{experiments.NASNet}, nil
+		return []hios.Benchmark{hios.NASNetBenchmark}, nil
 	case "both":
-		return []experiments.Benchmark{experiments.Inception, experiments.NASNet}, nil
+		return []hios.Benchmark{hios.InceptionBenchmark, hios.NASNetBenchmark}, nil
 	default:
 		return nil, fmt.Errorf("unknown model %q (want inception, nasnet or both)", name)
 	}

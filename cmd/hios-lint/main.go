@@ -1,0 +1,197 @@
+// Command hios-lint runs the repository's determinism analyzer suite
+// (internal/lint: maporder, floatcmp, detclock, pubapi) over Go
+// packages. It works two ways:
+//
+// Standalone, on package patterns:
+//
+//	go run ./cmd/hios-lint ./...
+//
+// As a vet tool, so findings interleave with go vet's own and use vet's
+// caching:
+//
+//	go build -o /tmp/hios-lint ./cmd/hios-lint
+//	go vet -vettool=/tmp/hios-lint ./...
+//
+// The exit status is 0 when the tree is clean and nonzero when any
+// analyzer reports a finding. Diagnostics print as
+// `path:line:col: analyzer: message`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/shus-lab/hios/internal/lint"
+	"github.com/shus-lab/hios/internal/lint/analysis"
+)
+
+func main() {
+	// The go command probes vet tools before use: -V=full computes a
+	// cache key, -flags enumerates the tool's flags as JSON. Answer both
+	// handshakes before normal flag parsing.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		fmt.Println("hios-lint version v1")
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hios-lint [packages]\n       (as a vet tool) go vet -vettool=$(command -v hios-lint) [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Suite() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	args := flag.Args()
+
+	// `go vet -vettool` invokes the tool with a single *.cfg argument
+	// describing one package unit.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0]))
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	diags, fset, err := analysis.RunAnalyzers(pkgs, lint.Suite())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", relPosition(fset, d.Pos), d.Category, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hios-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// relPosition renders a diagnostic position with the file path relative
+// to the working directory when possible, keeping output stable across
+// checkouts.
+func relPosition(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			p.Filename = rel
+		}
+	}
+	return p.String()
+}
+
+// vetConfig is the JSON unit description the go command hands to vet
+// tools (the x/tools unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one `go vet` package unit and returns the process
+// exit code: 0 clean, 2 findings (vet's convention), 1 hard error.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hios-lint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hios-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// This suite exports no facts, but vet requires the output file to
+	// exist for its cache.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hios-lint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if to, ok := cfg.ImportMap[path]; ok {
+			path = to
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, cfg.Compiler, lookup)
+	pkg, info, softErrs := analysis.TypeCheck(fset, imp, cfg.ImportPath, files)
+	if len(softErrs) > 0 && !cfg.SucceedOnTypecheckFailure {
+		// The package compiled (vet only sees compilable units), so
+		// soft errors here mean our importer missed something; analyze
+		// anyway, as vet does for best-effort tools.
+		_ = softErrs
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range lint.Suite() {
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Path:     cfg.ImportPath,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+		}
+		pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintln(os.Stderr, "hios-lint:", err)
+			return 1
+		}
+	}
+	writeVetx()
+	if len(diags) == 0 {
+		return 0
+	}
+	analysis.SortDiagnostics(fset, diags)
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", p, d.Category, d.Message)
+	}
+	return 2
+}

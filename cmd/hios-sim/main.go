@@ -19,7 +19,7 @@ import (
 	"os"
 	"strings"
 
-	"github.com/shus-lab/hios/internal/experiments"
+	hios "github.com/shus-lab/hios"
 )
 
 func main() {
@@ -32,18 +32,18 @@ func main() {
 	)
 	flag.Parse()
 
-	opt := experiments.SimOptions{Seeds: *seeds, GPUs: *gpus, Window: *window}
+	opt := hios.SimOptions{Seeds: *seeds, GPUs: *gpus, Window: *window}
 	type driver struct {
 		id string
-		fn func(experiments.SimOptions) (experiments.Figure, error)
+		fn func(hios.SimOptions) (hios.Figure, error)
 	}
 	drivers := []driver{
-		{"7", experiments.Fig7},
-		{"8", experiments.Fig8},
-		{"9", experiments.Fig9},
-		{"9adj", experiments.Fig9DependencyBound},
-		{"10", experiments.Fig10},
-		{"11", experiments.Fig11},
+		{"7", hios.Fig7},
+		{"8", hios.Fig8},
+		{"9", hios.Fig9},
+		{"9adj", hios.Fig9DependencyBound},
+		{"10", hios.Fig10},
+		{"11", hios.Fig11},
 	}
 	ran := false
 	for _, d := range drivers {

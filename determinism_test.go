@@ -1,0 +1,92 @@
+package hios_test
+
+// The determinism contract: the same graph, cost model, algorithm and
+// options always produce the same schedule — byte for byte. The paper's
+// evaluation (Figs. 9-14) is only reproducible under this property, and
+// the hios-lint analyzers (maporder, floatcmp, detclock) exist to keep
+// the code from drifting away from it. This test is the runtime half of
+// that enforcement: it reruns every algorithm on identical inputs,
+// including re-deriving the inputs from their seeds, and compares the
+// serialized schedules exactly.
+
+import (
+	"bytes"
+	"testing"
+
+	hios "github.com/shus-lab/hios"
+)
+
+// optimizeOnce rebuilds the model from scratch (so generator determinism
+// is covered too) and runs one scheduling pass, returning the schedule's
+// canonical JSON serialization and its predicted latency.
+func optimizeOnce(t *testing.T, algo hios.Algorithm) ([]byte, float64) {
+	t.Helper()
+	cfg := hios.RandomModelDefaults()
+	cfg.Ops = 60
+	cfg.Layers = 8
+	cfg.Deps = 120
+	cfg.Seed = 7
+	g, err := hios.RandomModel(cfg)
+	if err != nil {
+		t.Fatalf("RandomModel: %v", err)
+	}
+	m := hios.DefaultCostModel(g)
+	res, err := hios.Optimize(g, m, algo, hios.Options{GPUs: 2})
+	if err != nil {
+		t.Fatalf("Optimize(%s): %v", algo, err)
+	}
+	data, err := hios.ExportJSON(g, res.Schedule, "determinism", algo, res.Latency)
+	if err != nil {
+		t.Fatalf("ExportJSON(%s): %v", algo, err)
+	}
+	return data, res.Latency
+}
+
+func TestOptimizeIsDeterministic(t *testing.T) {
+	for _, algo := range hios.Algorithms() {
+		t.Run(string(algo), func(t *testing.T) {
+			first, lat1 := optimizeOnce(t, algo)
+			for run := 2; run <= 3; run++ {
+				again, lat2 := optimizeOnce(t, algo)
+				if !bytes.Equal(first, again) {
+					t.Fatalf("run %d of %s produced a different schedule (latencies %g vs %g); the determinism contract is broken", run, algo, lat1, lat2)
+				}
+			}
+		})
+	}
+}
+
+// A single graph instance reused across runs must behave identically to
+// freshly generated ones: Optimize must not mutate its inputs in ways
+// that change a second pass.
+func TestOptimizeDoesNotPerturbReusedInputs(t *testing.T) {
+	cfg := hios.RandomModelDefaults()
+	cfg.Ops = 60
+	cfg.Layers = 8
+	cfg.Deps = 120
+	cfg.Seed = 11
+	g, err := hios.RandomModel(cfg)
+	if err != nil {
+		t.Fatalf("RandomModel: %v", err)
+	}
+	m := hios.DefaultCostModel(g)
+	for _, algo := range []hios.Algorithm{hios.Sequential, hios.IOS, hios.HIOSLP, hios.HIOSMR} {
+		t.Run(string(algo), func(t *testing.T) {
+			run := func() []byte {
+				res, err := hios.Optimize(g, m, algo, hios.Options{GPUs: 2})
+				if err != nil {
+					t.Fatalf("Optimize(%s): %v", algo, err)
+				}
+				data, err := hios.ExportJSON(g, res.Schedule, "determinism", algo, res.Latency)
+				if err != nil {
+					t.Fatalf("ExportJSON(%s): %v", algo, err)
+				}
+				return data
+			}
+			first := run()
+			if again := run(); !bytes.Equal(first, again) {
+				t.Fatalf("%s on a reused graph produced a different schedule on the second run", algo)
+			}
+		})
+	}
+}

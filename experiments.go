@@ -1,0 +1,130 @@
+package hios
+
+import (
+	"github.com/shus-lab/hios/internal/experiments"
+)
+
+// This file extends the facade to the experiment harness: every figure
+// of the paper's evaluation and every ablation study in DESIGN.md is
+// reachable without importing internal/experiments. The pubapi lint
+// check holds cmd/ and examples/ to exactly that rule, so the
+// reproduction drivers (cmd/hios-sim, cmd/hios-exp) are ordinary facade
+// clients — anything they can print, library users can compute.
+
+type (
+	// Figure is one reproduced paper figure: labelled series of
+	// (x, mean, std) points with axis metadata. Render writes the
+	// repository's results_*.txt table format; RenderJSON a JSON form.
+	Figure = experiments.Figure
+	// FigureSeries is one curve of a Figure.
+	FigureSeries = experiments.Series
+	// FigurePoint is one x position of one series.
+	FigurePoint = experiments.Point
+	// SimOptions parameterizes the §V simulation sweeps (seeds per
+	// point, GPU count, window size).
+	SimOptions = experiments.SimOptions
+	// Benchmark names a real-system CNN benchmark.
+	Benchmark = experiments.Benchmark
+	// SchedulingCost is one scheduler's Fig. 14 optimization cost
+	// breakdown (algorithm wall time + simulated profiling time).
+	SchedulingCost = experiments.SchedulingCost
+)
+
+// The paper's two real-system benchmarks (§VI-B).
+const (
+	InceptionBenchmark Benchmark = experiments.Inception
+	NASNetBenchmark    Benchmark = experiments.NASNet
+)
+
+// DefaultSimOptions returns the paper's §V-A settings: 30 seeds per
+// point, 4 GPUs.
+func DefaultSimOptions() SimOptions { return experiments.DefaultSim() }
+
+// DefaultBenchmarkSizes returns the Fig. 12 input-size sweep of a
+// benchmark.
+func DefaultBenchmarkSizes(b Benchmark) []int { return experiments.DefaultSizes(b) }
+
+// Motivating measurements (§II).
+
+// Fig1 reproduces Fig. 1: the sequential/parallel latency ratio of two
+// identical convolutions over input sizes (the contention crossover).
+func Fig1() Figure { return experiments.Fig1() }
+
+// Fig2 reproduces Fig. 2: the transfer/compute time ratio across the
+// three dual-GPU platforms.
+func Fig2() Figure { return experiments.Fig2() }
+
+// Simulation study (§V, random DAG-structured models).
+
+// Fig7 sweeps the GPU count.
+func Fig7(opt SimOptions) (Figure, error) { return experiments.Fig7(opt) }
+
+// Fig8 sweeps the operator count.
+func Fig8(opt SimOptions) (Figure, error) { return experiments.Fig8(opt) }
+
+// Fig9 sweeps the dependency count.
+func Fig9(opt SimOptions) (Figure, error) { return experiments.Fig9(opt) }
+
+// Fig9DependencyBound is Fig. 9 with the dependency count capped to the
+// structurally realizable maximum of each instance.
+func Fig9DependencyBound(opt SimOptions) (Figure, error) {
+	return experiments.Fig9DependencyBound(opt)
+}
+
+// Fig10 sweeps the layer count.
+func Fig10(opt SimOptions) (Figure, error) { return experiments.Fig10(opt) }
+
+// Fig11 sweeps the communication/computation ratio p.
+func Fig11(opt SimOptions) (Figure, error) { return experiments.Fig11(opt) }
+
+// Real-system experiments (§VI, simulated dual-A40 testbed).
+
+// Fig12 measures inference latency of a benchmark over input sizes under
+// sequential, IOS, HIOS-LP and HIOS-MR scheduling. A nil sizes slice
+// selects the paper's sweep.
+func Fig12(b Benchmark, sizes []int) (Figure, error) { return experiments.Fig12(b, sizes) }
+
+// Fig13 measures the six-algorithm latency breakdown at small and large
+// inputs of both benchmarks; the second result labels the scenarios.
+func Fig13() (Figure, []string, error) { return experiments.Fig13() }
+
+// Fig14 measures the scheduling-optimization cost (profiling +
+// algorithm) of IOS, HIOS-LP and HIOS-MR over input sizes.
+func Fig14(b Benchmark, sizes []int) (Figure, error) { return experiments.Fig14(b, sizes) }
+
+// MeasureSchedulingCost runs one algorithm on a benchmark at an input
+// size behind a fresh profiling table and reports the Fig. 14 cost
+// breakdown.
+func MeasureSchedulingCost(algo Algorithm, b Benchmark, size int) (SchedulingCost, error) {
+	return experiments.MeasureSchedulingCost(string(algo), b, size)
+}
+
+// Ablation studies (DESIGN.md; extensions beyond the paper).
+
+// AblationWindow sweeps the sliding-window size w for HIOS-LP.
+func AblationWindow(opt SimOptions) (Figure, error) { return experiments.AblationWindow(opt) }
+
+// AblationIOSPruning sweeps the IOS pruning parameters.
+func AblationIOSPruning(opt SimOptions) (Figure, error) { return experiments.AblationIOSPruning(opt) }
+
+// AblationLinkContention compares contention-free links (the cost
+// model's assumption) against a serialized NVLink bridge (the testbed).
+func AblationLinkContention(b Benchmark, size int) (Figure, error) {
+	return experiments.AblationLinkContention(b, size)
+}
+
+// NCCLOverlap is the §VI-E what-if: CUDA-aware MPI transfers versus
+// NCCL-style transfers with launch hiding.
+func NCCLOverlap(b Benchmark, size int) (Figure, error) { return experiments.NCCLOverlap(b, size) }
+
+// AblationIntraGPU isolates the intra-GPU pass: inter-GPU only versus
+// the Algorithm 2 window versus per-GPU exact IOS.
+func AblationIntraGPU(opt SimOptions) (Figure, error) { return experiments.AblationIntraGPU(opt) }
+
+// OptimalityGap compares every scheduler against brute-force optima on
+// small random instances.
+func OptimalityGap(seeds, ops int) (Figure, error) { return experiments.OptimalityGap(seeds, ops) }
+
+// ClusterStudy evaluates the schedulers on a two-level (multi-node)
+// interconnect topology.
+func ClusterStudy(opt SimOptions) (Figure, error) { return experiments.ClusterStudy(opt) }

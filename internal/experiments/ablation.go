@@ -50,7 +50,7 @@ func AblationWindow(opt SimOptions) (Figure, error) {
 		m := cost.FromGraph(g, cost.DefaultContention())
 		for i, w := range ws {
 			o := lp.Options{GPUs: opt.GPUs, Window: int(w)}
-			if w == 1 {
+			if int(w) == 1 {
 				o.InterOnly = true
 			}
 			res, err := lp.Schedule(g, m, o)

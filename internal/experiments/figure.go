@@ -43,7 +43,7 @@ func (f *Figure) At(label string, x float64) (float64, bool) {
 			continue
 		}
 		for _, p := range s.Points {
-			if p.X == x {
+			if stats.ApproxEqual(p.X, x, 0) {
 				return p.Mean, true
 			}
 		}

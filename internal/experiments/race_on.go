@@ -1,0 +1,11 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the binary was built with the race
+// detector. The experiment sweeps are fully serial, so their tests gain
+// no coverage from -race while paying its ~10x slowdown; the test suite
+// uses this to skip the statistical sweeps under the detector. The
+// executor's concurrency is race-tested in internal/runtime and
+// internal/mpi, which always run full-size.
+const raceEnabled = true

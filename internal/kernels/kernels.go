@@ -13,7 +13,10 @@
 //     exhibit realistic timing while remaining bit-reproducible.
 package kernels
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Gemm computes C = A (m x k) * B (k x n), row-major.
 func Gemm(a, b []float32, m, k, n int) []float32 {
@@ -133,8 +136,9 @@ func Concat(parts ...[]float32) []float32 {
 	return out
 }
 
-// sink defeats dead-code elimination of Synth's work loop.
-var sink float32
+// sink defeats dead-code elimination of Synth's work loop. Stored
+// atomically because the executor runs Synth from one goroutine per GPU.
+var sink atomic.Uint32
 
 // SynthLen is the output length of every synthetic operator: small enough
 // to keep transfers cheap in tests, large enough to be a meaningful
@@ -165,7 +169,7 @@ func Synth(seed int64, inputs [][]float32, work int) []float32 {
 	for i := 0; i < work; i++ {
 		acc = acc*1.0000001 + float32(i&7)*1e-7
 	}
-	sink = acc
+	sink.Store(math.Float32bits(acc))
 	for i := range out {
 		out[i] = float32(math.Round(float64(out[i])*1e4) / 1e4)
 	}

@@ -1,0 +1,133 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer inspects the
+// type-checked syntax of one package through a Pass and reports
+// Diagnostics. It exists because this repository builds hermetically
+// against the standard library only; the subset implemented here (one
+// run function per analyzer, positional diagnostics, line-scoped
+// suppression directives) is exactly what the hios-lint suite needs,
+// and the API mirrors x/tools closely enough that the analyzers would
+// port to the real framework without structural change.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and directives.
+	Name string
+	// Doc is a one-paragraph description of what it reports.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked syntax to an
+// analyzer, plus the sink for its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the package's import path. Analyzers scope themselves by
+	// it (e.g. maporder only fires inside the scheduling core).
+	Path string
+	Fset *token.FileSet
+	// Files holds the package's non-test source files, parsed with
+	// comments.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Report receives each diagnostic.
+	Report func(Diagnostic)
+
+	directives map[directiveKey]bool
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name
+	Message  string
+}
+
+// Reportf reports a diagnostic at pos under the pass's analyzer name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+type directiveKey struct {
+	file string
+	line int
+	name string
+}
+
+var directiveRe = regexp.MustCompile(`^//lint:([a-z]+)\b`)
+
+// Suppressed reports whether a `//lint:<name>` directive covers the
+// source line of pos: either on the line itself (trailing comment) or on
+// the line immediately above (leading comment), matching the placement
+// conventions of //nolint and //go: directives.
+func (p *Pass) Suppressed(name string, pos token.Pos) bool {
+	if p.directives == nil {
+		p.directives = make(map[directiveKey]bool)
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := directiveRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					cp := p.Fset.Position(c.Pos())
+					p.directives[directiveKey{cp.Filename, cp.Line, m[1]}] = true
+				}
+			}
+		}
+	}
+	at := p.Fset.Position(pos)
+	return p.directives[directiveKey{at.Filename, at.Line, name}] ||
+		p.directives[directiveKey{at.Filename, at.Line - 1, name}]
+}
+
+// PkgFunc resolves a selector expression to (package path, function
+// name) when its qualifier is an imported package name, e.g. time.Now
+// resolves to ("time", "Now"). The boolean is false for method calls,
+// locals shadowing package names, and non-selector expressions.
+func (p *Pass) PkgFunc(e ast.Expr) (string, string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// SortDiagnostics orders diagnostics by file position for stable output.
+func SortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// TypeErrors holds soft type-checking failures. Analysis still runs
+	// on a partially checked package, exactly as `go vet` does.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load resolves package patterns (./..., specific import paths) with the
+// go tool, building export data for every dependency, then parses and
+// type-checks each matched package from source. This mirrors the
+// architecture of `go vet`: only the packages under analysis pay for full
+// syntax, everything beneath them is imported from compiled export data,
+// so loading stays fast and works without network access.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,ImportMap,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)   // import path -> export data file
+	importMap := make(map[string]string) // as-written path -> effective path
+	var targets []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if lp.Error != nil && !lp.DepOnly {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		for from, to := range lp.ImportMap {
+			importMap[from] = to
+		}
+		if !lp.DepOnly && len(lp.GoFiles) > 0 {
+			cp := lp
+			targets = append(targets, &cp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if to, ok := importMap[path]; ok {
+			path = to
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var out []*Package
+	for _, t := range targets {
+		p, err := checkPackage(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, softErrs := TypeCheck(fset, imp, lp.ImportPath, files)
+	return &Package{
+		Path:       lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		TypeErrors: softErrs,
+	}, nil
+}
+
+// TypeCheck type-checks one package's files, collecting rather than
+// failing on type errors so analyzers can run over partially valid code.
+func TypeCheck(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*types.Package, *types.Info, []error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var softErrs []error
+	cfg := &types.Config{
+		Importer: imp,
+		Error:    func(err error) { softErrs = append(softErrs, err) },
+	}
+	pkg, _ := cfg.Check(path, fset, files, info)
+	return pkg, info, softErrs
+}
+
+// RunAnalyzers applies each analyzer to each package and returns the
+// combined, position-sorted diagnostics.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	var all []Diagnostic
+	var fset *token.FileSet
+	for _, p := range pkgs {
+		fset = p.Fset
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Path:     p.Path,
+				Fset:     p.Fset,
+				Files:    p.Files,
+				Pkg:      p.Pkg,
+				Info:     p.Info,
+			}
+			pass.Report = func(d Diagnostic) { all = append(all, d) }
+			if err := a.Run(pass); err != nil {
+				return nil, fset, fmt.Errorf("lint: %s on %s: %v", a.Name, p.Path, err)
+			}
+		}
+	}
+	if fset != nil {
+		SortDiagnostics(fset, all)
+	}
+	return all, fset, nil
+}

@@ -1,0 +1,44 @@
+// Package lint is the hios-lint analyzer suite: four static checks that
+// enforce the determinism contract of the HIOS reproduction (DESIGN.md
+// "Invariants and static analysis"). The schedulers promise that the
+// same graph, cost model and options always produce the same schedule;
+// the checks reject the Go constructs that silently break that promise —
+// unordered map iteration in scheduling loops, exact floating-point
+// latency comparison, wall-clock and global-RNG leakage into the
+// deterministic core — plus imports that bypass the public hios facade.
+//
+// Findings can be suppressed line by line with `//lint:<directive>`
+// comments (on the flagged line or the line above); each analyzer
+// documents its directive.
+package lint
+
+import (
+	"strings"
+
+	"github.com/shus-lab/hios/internal/lint/analysis"
+)
+
+// ModulePath is the import-path root of this repository.
+const ModulePath = "github.com/shus-lab/hios"
+
+// Suite returns every analyzer, in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{MapOrder, FloatCmp, DetClock, PubAPI}
+}
+
+// inScope reports whether pkg (an import path) is the module package
+// whose path relative to the module root matches one of the given
+// prefixes. A prefix "internal/sched" covers internal/sched and every
+// package beneath it.
+func inScope(pkg string, prefixes ...string) bool {
+	rel, ok := strings.CutPrefix(pkg, ModulePath+"/")
+	if !ok {
+		return false
+	}
+	for _, p := range prefixes {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/shus-lab/hios/internal/lint"
+	"github.com/shus-lab/hios/internal/lint/analysis"
+	"github.com/shus-lab/hios/internal/lint/linttest"
+)
+
+// Each fixture package mixes violations (marked `// want`) with clean
+// counterparts, so one run proves the analyzer both fires on the bad
+// code and stays quiet on the good. The asPath argument places the
+// fixture inside the analyzer's package scope.
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, lint.MapOrder, "testdata/maporder", lint.ModulePath+"/internal/sched/fixture")
+}
+
+func TestFloatCmp(t *testing.T) {
+	linttest.Run(t, lint.FloatCmp, "testdata/floatcmp", lint.ModulePath+"/internal/cost/fixture")
+}
+
+func TestDetClock(t *testing.T) {
+	linttest.Run(t, lint.DetClock, "testdata/detclock", lint.ModulePath+"/internal/sim/fixture")
+}
+
+func TestPubAPI(t *testing.T) {
+	linttest.Run(t, lint.PubAPI, "testdata/pubapi", lint.ModulePath+"/cmd/fixture")
+}
+
+// The analyzers are scoped by package path; the same fixture code loaded
+// under an out-of-scope import path must yield zero diagnostics.
+func TestScopeBoundaries(t *testing.T) {
+	cases := []struct {
+		name    string
+		a       *analysis.Analyzer
+		dir     string
+		outside string
+	}{
+		{"maporder", lint.MapOrder, "testdata/maporder", lint.ModulePath + "/internal/trace"},
+		{"floatcmp", lint.FloatCmp, "testdata/floatcmp", lint.ModulePath + "/internal/stats"},
+		{"detclock", lint.DetClock, "testdata/detclock", lint.ModulePath + "/internal/runtime"},
+		{"pubapi", lint.PubAPI, "testdata/pubapi", lint.ModulePath + "/internal/experiments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, got := linttest.Diagnostics(t, tc.a, tc.dir, tc.outside)
+			if len(got) != 0 {
+				t.Fatalf("%s fired %d diagnostics outside its scope (first: %s)", tc.name, len(got), got[0].Message)
+			}
+		})
+	}
+}
+
+func TestSuiteListsAllAnalyzers(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range lint.Suite() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v incompletely declared", a)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"maporder", "floatcmp", "detclock", "pubapi"} {
+		if !names[want] {
+			t.Fatalf("suite is missing %s (have %v)", want, names)
+		}
+	}
+}

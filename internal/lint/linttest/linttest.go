@@ -1,0 +1,233 @@
+// Package linttest runs one analyzer over a directory of fixture files
+// and checks its diagnostics against `// want "regexp"` comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest. A fixture line
+// that should be flagged carries a want comment whose regular expression
+// must match the diagnostic message; every diagnostic must be expected
+// and every expectation must fire, so the same run proves both that the
+// analyzer catches violations and that it accepts the clean counterparts.
+//
+// Fixture imports of standard-library packages are resolved through the
+// go toolchain's export data. Imports under this module's path are
+// replaced by empty placeholder packages: fixtures exercising the pubapi
+// analyzer only need the import path to exist syntactically.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/shus-lab/hios/internal/lint/analysis"
+)
+
+// Run applies a to the fixture package in dir, type-checked as if its
+// import path were asPath (analyzers scope themselves by path), and
+// reports any mismatch against the fixtures' want comments as test
+// errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir, asPath string) {
+	t.Helper()
+	fset, files, got := Diagnostics(t, a, dir, asPath)
+
+	wants := collectWants(t, fset, files)
+	for _, d := range got {
+		p := fset.Position(d.Pos)
+		key := posKey{filepath.Base(p.Filename), p.Line}
+		ws := wants[key]
+		matched := false
+		for i, w := range ws {
+			if !w.used && w.re.MatchString(d.Message) {
+				ws[i].used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", key.file, key.line, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+// Diagnostics parses and type-checks the fixture package in dir under
+// the import path asPath and returns the analyzer's raw findings, for
+// tests that assert on the diagnostic set directly (e.g. that an
+// analyzer stays silent outside its package scope).
+func Diagnostics(t *testing.T, a *analysis.Analyzer, dir, asPath string) (*token.FileSet, []*ast.File, []analysis.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no fixtures in %s", dir)
+	}
+
+	pkg, info, _ := analysis.TypeCheck(fset, fixtureImporter{fset}, asPath, files)
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer: a,
+		Path:     asPath,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		Report:   func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: %s: %v", a.Name, err)
+	}
+	analysis.SortDiagnostics(fset, got)
+	return fset, files, got
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRe = regexp.MustCompile("// want (.*)$")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[posKey][]want {
+	t.Helper()
+	out := make(map[posKey][]want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				key := posKey{filepath.Base(p.Filename), p.Line}
+				for _, pat := range splitPatterns(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", key.file, key.line, pat, err)
+					}
+					out[key] = append(out[key], want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitPatterns extracts the quoted or backquoted regexps after "want".
+func splitPatterns(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			j := i + 1
+			for j < len(s) && (s[j] != '"' || s[j-1] == '\\') {
+				j++
+			}
+			if j < len(s) {
+				if u, err := strconv.Unquote(s[i : j+1]); err == nil {
+					out = append(out, u)
+				}
+				i = j
+			}
+		case '`':
+			j := strings.IndexByte(s[i+1:], '`')
+			if j >= 0 {
+				out = append(out, s[i+1:i+1+j])
+				i += j + 1
+			}
+		}
+	}
+	return out
+}
+
+// fixtureImporter resolves standard-library imports via the toolchain's
+// export data and fabricates empty packages for anything else.
+type fixtureImporter struct {
+	fset *token.FileSet
+}
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if f := stdExport(path); f != "" {
+		imp := importer.ForCompiler(fi.fset, "gc", func(p string) (io.ReadCloser, error) {
+			ef := stdExport(p)
+			if ef == "" {
+				return nil, fmt.Errorf("no export data for %q", p)
+			}
+			return os.Open(ef)
+		})
+		return imp.Import(path)
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	return pkg, nil
+}
+
+var (
+	stdOnce    sync.Once
+	stdExports map[string]string
+)
+
+// stdExport returns the export-data file of a standard-library package,
+// building the table once per test process with `go list`.
+func stdExport(path string) string {
+	stdOnce.Do(func() {
+		stdExports = make(map[string]string)
+		cmd := exec.Command("go", "list", "-e", "-deps", "-export", "-json=ImportPath,Export", "std")
+		var stdout bytes.Buffer
+		cmd.Stdout = &stdout
+		if err := cmd.Run(); err != nil {
+			return // leaves the table empty; imports will fail loudly
+		}
+		dec := json.NewDecoder(&stdout)
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err != nil {
+				break
+			}
+			if p.Export != "" {
+				stdExports[p.ImportPath] = p.Export
+			}
+		}
+	})
+	return stdExports[path]
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/shus-lab/hios/internal/lint/analysis"
+)
+
+// PubAPI forbids commands (cmd/...) and examples (examples/...) from
+// importing internal/... packages directly. The root `hios` package is
+// the deliberate public facade: it re-exports every type and operation an
+// application needs, so a cmd import of internal/ either means the facade
+// is missing an entry point (extend it) or the command is reaching into
+// implementation details that the next refactor will break.
+//
+// The lint tooling itself (internal/lint/...) is exempt: cmd/hios-lint is
+// a developer tool, not part of the scheduling API surface.
+var PubAPI = &analysis.Analyzer{
+	Name: "pubapi",
+	Doc:  "forbids cmd/ and examples/ from importing internal/ directly",
+	Run:  runPubAPI,
+}
+
+func runPubAPI(pass *analysis.Pass) error {
+	if !inScope(pass.Path, "cmd", "examples") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !strings.HasPrefix(path, ModulePath+"/internal/") {
+				continue
+			}
+			if strings.HasPrefix(path, ModulePath+"/internal/lint") {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "%s imports %s; commands and examples must go through the public hios facade", pass.Path, path)
+		}
+	}
+	return nil
+}

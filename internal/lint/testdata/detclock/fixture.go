@@ -1,0 +1,32 @@
+// Package fixture exercises the detclock analyzer.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() float64 {
+	start := time.Now() // want `time.Now in the deterministic core`
+	_ = start
+	return float64(time.Since(start)) // want `time.Since in the deterministic core`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn in the deterministic core`
+}
+
+func reseedGlobal(seed int64) {
+	rand.Seed(seed) // want `rand.Seed in the deterministic core`
+}
+
+// seeded injects determinism the approved way: an explicit source.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// durations are values, not clock reads.
+func durations(d time.Duration) float64 {
+	return d.Seconds() + float64(5*time.Millisecond)
+}

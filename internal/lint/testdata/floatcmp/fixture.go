@@ -1,0 +1,26 @@
+// Package fixture exercises the floatcmp analyzer.
+package fixture
+
+func equality(a, b float64) bool {
+	return a == b // want `exact floating-point == on latency/cost values`
+}
+
+func inequality(a, b float64) bool {
+	return a != b // want `exact floating-point != on latency/cost values`
+}
+
+func mixedLiteral(lat float64) bool {
+	return lat == 0 // want `exact floating-point ==`
+}
+
+func ordered(a, b float64) bool {
+	return a < b || b < a // ordered comparison: well-defined, clean
+}
+
+func integers(a, b int) bool {
+	return a == b // not floating point: clean
+}
+
+func tieBreak(a, b float64) bool {
+	return a != b //lint:floatexact IEEE equality keeps the comparator a strict weak order
+}

@@ -1,0 +1,85 @@
+// Package fixture exercises the maporder analyzer: each `want` line must
+// be flagged, everything else must pass.
+package fixture
+
+import "sort"
+
+// arbitraryOrder leaks map visit order into the returned slice.
+func arbitraryOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `iteration over map m is order-dependent`
+		out = append(out, k)
+	}
+	return out
+}
+
+// earlyReturn returns an arbitrary element.
+func earlyReturn(m map[string]int) string {
+	for k, v := range m { // want `iteration over map m is order-dependent`
+		if v > 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+// sideEffects calls an order-observing sink.
+func sideEffects(m map[string]int, emit func(string)) {
+	for k := range m { // want `iteration over map m is order-dependent`
+		emit(k)
+	}
+}
+
+// collectThenSort is the blessed idiom: keys gathered, then ordered.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// accumulate only performs commutative reduction.
+func accumulate(m map[string]float64) (sum float64, n int) {
+	for _, v := range m {
+		sum += v
+		n++
+	}
+	return sum, n
+}
+
+// rebuild writes another map at distinct keys.
+func rebuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// extremum performs a min/max-style conditional update.
+func extremum(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// marked asserts order-insensitivity explicitly.
+func marked(m map[string]int, emit func(string)) {
+	//lint:ordered emit is commutative in this fixture
+	for k := range m {
+		emit(k)
+	}
+}
+
+// sliceRange is out of scope for the analyzer entirely.
+func sliceRange(xs []string, emit func(string)) {
+	for _, x := range xs {
+		emit(x)
+	}
+}

@@ -1,0 +1,16 @@
+// Package main exercises the pubapi analyzer as if it were a cmd/
+// binary.
+package main
+
+import (
+	"fmt"
+
+	hios "github.com/shus-lab/hios"
+	_ "github.com/shus-lab/hios/internal/lint/analysis"
+	_ "github.com/shus-lab/hios/internal/sched" // want `must go through the public hios facade`
+	_ "github.com/shus-lab/hios/internal/sim"   // want `must go through the public hios facade`
+)
+
+func main() {
+	fmt.Println(hios.Algorithms)
+}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/stats"
 )
 
 // paperFig3 builds the six-operator graph of the paper's Fig. 3 schedule
@@ -295,5 +296,131 @@ func TestEvaluateRespectsPrecedenceProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Each distinct error branch of Validate/ValidatePartial, with the
+// message pinned so refactors cannot silently merge branches: duplicate
+// across two stages on different GPUs, missing operator, unknown and
+// negative IDs, and empty stages — plus the partial variant's laxer
+// completeness rule.
+func TestValidateDuplicateAcrossGPUs(t *testing.T) {
+	g := graph.New(2, 0)
+	a := g.AddOp(graph.Op{Time: 1})
+	b := g.AddOp(graph.Op{Time: 1})
+	g.MustFinalize()
+
+	dup := New(2)
+	dup.Append(0, a)
+	dup.Append(0, b)
+	dup.Append(1, a) // a again, in a different GPU's stage list
+	err := Validate(g, dup)
+	if err == nil {
+		t.Fatal("Validate accepted an operator scheduled on two GPUs")
+	}
+	if !strings.Contains(err.Error(), "more than once") {
+		t.Fatalf("wrong branch: %v", err)
+	}
+}
+
+func TestValidateMissingOperatorMessage(t *testing.T) {
+	g := graph.New(3, 0)
+	a := g.AddOp(graph.Op{Time: 1})
+	g.AddOp(graph.Op{Time: 1})
+	g.AddOp(graph.Op{Time: 1})
+	g.MustFinalize()
+
+	s := New(1)
+	s.Append(0, a)
+	err := Validate(g, s)
+	if err == nil {
+		t.Fatal("Validate accepted an incomplete schedule")
+	}
+	if !strings.Contains(err.Error(), "1 of 3 operators scheduled") {
+		t.Fatalf("wrong branch: %v", err)
+	}
+}
+
+func TestValidateNegativeOperatorID(t *testing.T) {
+	g := graph.New(1, 0)
+	g.AddOp(graph.Op{Time: 1})
+	g.MustFinalize()
+
+	s := New(1)
+	s.Append(0, graph.OpID(-1))
+	err := Validate(g, s)
+	if err == nil {
+		t.Fatal("Validate accepted a negative operator ID")
+	}
+	if !strings.Contains(err.Error(), "unknown operator") {
+		t.Fatalf("wrong branch: %v", err)
+	}
+}
+
+func TestValidatePartialErrorPaths(t *testing.T) {
+	g := graph.New(3, 0)
+	a := g.AddOp(graph.Op{Time: 1})
+	g.AddOp(graph.Op{Time: 1})
+	g.AddOp(graph.Op{Time: 1})
+	g.MustFinalize()
+
+	// A subset is legal for the partial variant...
+	subset := New(2)
+	subset.Append(0, a)
+	if err := ValidatePartial(g, subset); err != nil {
+		t.Fatalf("ValidatePartial rejected a legal subset: %v", err)
+	}
+	// ...but the structural invariants still hold.
+	dup := New(2)
+	dup.Append(0, a)
+	dup.Append(1, a)
+	if err := ValidatePartial(g, dup); err == nil || !strings.Contains(err.Error(), "more than once") {
+		t.Fatalf("duplicate across GPUs: got %v", err)
+	}
+	unknown := New(1)
+	unknown.Append(0, graph.OpID(99))
+	if err := ValidatePartial(g, unknown); err == nil || !strings.Contains(err.Error(), "unknown operator") {
+		t.Fatalf("unknown operator: got %v", err)
+	}
+	empty := New(1)
+	empty.Append(0, a)
+	empty.GPUs[0].Stages = append(empty.GPUs[0].Stages, Stage{})
+	if err := ValidatePartial(g, empty); err == nil || !strings.Contains(err.Error(), "is empty") {
+		t.Fatalf("empty stage: got %v", err)
+	}
+}
+
+// EvaluatePartial must ignore dependencies whose endpoint is
+// unscheduled, and still reject ordering violations among the operators
+// that are scheduled.
+func TestEvaluatePartialDependencies(t *testing.T) {
+	g := graph.New(3, 2)
+	a := g.AddOp(graph.Op{Time: 1})
+	b := g.AddOp(graph.Op{Time: 2})
+	c := g.AddOp(graph.Op{Time: 4})
+	g.AddEdge(a, b, 0.5)
+	g.AddEdge(b, c, 0.5)
+	g.MustFinalize()
+	m := cost.FromGraph(g, cost.DefaultContention())
+
+	// Only a and c scheduled: the a->b and b->c edges dangle and are
+	// ignored, so the two operators run back to back without transfer
+	// lag on one GPU.
+	s := New(1)
+	s.Append(0, a)
+	s.Append(0, c)
+	lat, err := LatencyPartial(g, m, s)
+	if err != nil {
+		t.Fatalf("LatencyPartial: %v", err)
+	}
+	if want := m.OpTime(a) + m.OpTime(c); !stats.ApproxEqual(lat, want, 0) {
+		t.Fatalf("partial latency %g, want %g", lat, want)
+	}
+
+	// A direct dependency inside one stage is rejected even partially.
+	bad := New(1)
+	bad.AppendStage(0, []graph.OpID{a, b})
+	if _, err := EvaluatePartial(g, m, bad); err == nil {
+		t.Fatal("EvaluatePartial accepted dependent operators in one stage")
 	}
 }

@@ -73,7 +73,9 @@ func solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, opt Options) (
 		bucket := buckets[c]
 		if beam > 0 && len(bucket) > beam {
 			sort.Slice(bucket, func(i, j int) bool {
-				if bucket[i].cost != bucket[j].cost {
+				// Exact IEEE inequality keeps this tie-break a strict
+				// weak order; an epsilon compare would not.
+				if bucket[i].cost != bucket[j].cost { //lint:floatexact
 					return bucket[i].cost < bucket[j].cost
 				}
 				return less(bucket[i].set, bucket[j].set)

@@ -57,7 +57,9 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
+	// Exact IEEE inequality keeps the heap order strict-weak; ties fall
+	// through to the deterministic sequence number.
+	if h[i].at != h[j].at { //lint:floatexact
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
@@ -257,7 +259,8 @@ func RunOpts(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (*Tra
 		return nil, fmt.Errorf("sim: deadlock, %d of %d stages executed: %w", done, total, graph.ErrCycle)
 	}
 	sort.Slice(tr.Stages, func(i, j int) bool {
-		if tr.Stages[i].Start != tr.Stages[j].Start {
+		// Exact IEEE inequality: see eventHeap.Less.
+		if tr.Stages[i].Start != tr.Stages[j].Start { //lint:floatexact
 			return tr.Stages[i].Start < tr.Stages[j].Start
 		}
 		if tr.Stages[i].GPU != tr.Stages[j].GPU {

@@ -54,6 +54,39 @@ func Max(xs []float64) float64 {
 	return m
 }
 
+// Eps is the default tolerance for ApproxEqual: latencies and costs in
+// this repository are milliseconds-scale float64 sums, for which nine
+// significant digits comfortably exceed any real difference while
+// absorbing accumulation-order noise in the last ulps.
+const Eps = 1e-9
+
+// ApproxEqual reports whether a and b differ by at most eps in absolute
+// terms or, for large magnitudes, in relative terms (|a-b| <=
+// eps*max(|a|,|b|)). It is the comparison the floatcmp analyzer points
+// to: exact == / != on computed latencies flips with accumulation order,
+// while an epsilon compare is stable. eps <= 0 selects Eps. NaN equals
+// nothing, mirroring IEEE semantics.
+func ApproxEqual(a, b, eps float64) bool {
+	if eps <= 0 {
+		eps = Eps
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { // exact hit, including equal infinities
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // a finite value never approximates an infinity
+	}
+	diff := math.Abs(a - b)
+	if diff <= eps {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= eps*scale
+}
+
 // Speedup returns base/x: how many times faster x is than base.
 // It returns 0 when x is 0.
 func Speedup(base, x float64) float64 {

@@ -80,3 +80,37 @@ func TestMeanBoundsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, eps float64
+		want      bool
+	}{
+		{1, 1, 1e-9, true},
+		{1, 1 + 1e-12, 1e-9, true},             // absolute tolerance
+		{1e12, 1e12 * (1 + 1e-12), 1e-9, true}, // relative tolerance at scale
+		{1, 1.001, 1e-9, false},
+		{0, 1e-12, 1e-9, true},
+		{0, 1e-3, 1e-9, false},
+		{1, 2, 0, false}, // eps<=0 selects the default, still unequal
+		{1, 1, -1, true}, // eps<=0 selects the default
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false},
+		{math.NaN(), 1, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.eps); got != c.want {
+			t.Errorf("ApproxEqual(%g, %g, %g) = %v, want %v", c.a, c.b, c.eps, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqualSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		return ApproxEqual(a, b, 1e-9) == ApproxEqual(b, a, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
