@@ -5,6 +5,7 @@ import (
 
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/gpu"
+	"github.com/shus-lab/hios/internal/parallel"
 	"github.com/shus-lab/hios/internal/randdag"
 	"github.com/shus-lab/hios/internal/sched/ios"
 	"github.com/shus-lab/hios/internal/sched/lp"
@@ -40,14 +41,16 @@ func AblationWindow(opt SimOptions) (Figure, error) {
 	for i := range samples {
 		samples[i] = &stats.Sample{}
 	}
-	for seed := int64(1); seed <= int64(opt.Seeds); seed++ {
+	rows, err := parallel.Map(opt.Seeds, opt.Workers, func(t int) ([]float64, error) {
+		seed := int64(t) + 1
 		cfg := randdag.Paper()
 		cfg.Seed = seed
 		g, err := randdag.Generate(cfg)
 		if err != nil {
-			return Figure{}, err
+			return nil, err
 		}
 		m := cost.FromGraph(g, cost.DefaultContention())
+		lats := make([]float64, len(ws))
 		for i, w := range ws {
 			o := lp.Options{GPUs: opt.GPUs, Window: int(w)}
 			if int(w) == 1 {
@@ -55,9 +58,18 @@ func AblationWindow(opt SimOptions) (Figure, error) {
 			}
 			res, err := lp.Schedule(g, m, o)
 			if err != nil {
-				return Figure{}, fmt.Errorf("ablation window w=%g seed=%d: %w", w, seed, err)
+				return nil, fmt.Errorf("ablation window w=%g seed=%d: %w", w, seed, err)
 			}
-			samples[i].Add(res.Latency)
+			lats[i] = res.Latency
+		}
+		return lats, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for _, lats := range rows {
+		for i := range ws {
+			samples[i].Add(lats[i])
 		}
 	}
 	fig.Series = []Series{collect(AlgoHIOSLP, ws, samples)}
@@ -81,20 +93,31 @@ func AblationIOSPruning(opt SimOptions) (Figure, error) {
 	for i := range samples {
 		samples[i] = &stats.Sample{}
 	}
-	for seed := int64(1); seed <= int64(opt.Seeds); seed++ {
+	rows, err := parallel.Map(opt.Seeds, opt.Workers, func(t int) ([]float64, error) {
+		seed := int64(t) + 1
 		cfg := randdag.Paper()
 		cfg.Seed = seed
 		g, err := randdag.Generate(cfg)
 		if err != nil {
-			return Figure{}, err
+			return nil, err
 		}
 		m := cost.FromGraph(g, cost.DefaultContention())
+		lats := make([]float64, len(rs))
 		for i, r := range rs {
 			res, err := ios.Schedule(g, m, ios.Options{PruneWindow: int(r)})
 			if err != nil {
-				return Figure{}, fmt.Errorf("ablation ios r=%g seed=%d: %w", r, seed, err)
+				return nil, fmt.Errorf("ablation ios r=%g seed=%d: %w", r, seed, err)
 			}
-			samples[i].Add(res.Latency)
+			lats[i] = res.Latency
+		}
+		return lats, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for _, lats := range rows {
+		for i := range rs {
+			samples[i].Add(lats[i])
 		}
 	}
 	fig.Series = []Series{collect(AlgoIOS, rs, samples)}
@@ -207,29 +230,35 @@ func AblationIntraGPU(opt SimOptions) (Figure, error) {
 	for i := range samples {
 		samples[i] = &stats.Sample{}
 	}
-	for seed := int64(1); seed <= int64(opt.Seeds); seed++ {
+	rows, err := parallel.Map(opt.Seeds, opt.Workers, func(t int) ([3]float64, error) {
 		cfg := randdag.Paper()
-		cfg.Seed = seed
+		cfg.Seed = int64(t) + 1
 		g, err := randdag.Generate(cfg)
 		if err != nil {
-			return Figure{}, err
+			return [3]float64{}, err
 		}
 		m := cost.FromGraph(g, cost.DefaultContention())
 		inter, err := lp.Schedule(g, m, lp.Options{GPUs: opt.GPUs, InterOnly: true})
 		if err != nil {
-			return Figure{}, err
+			return [3]float64{}, err
 		}
-		samples[0].Add(inter.Latency)
 		alg2, err := window.Parallelize(g, m, inter.Schedule, window.DefaultSize)
 		if err != nil {
-			return Figure{}, err
+			return [3]float64{}, err
 		}
-		samples[1].Add(alg2.Latency)
 		perGPU, err := window.ExactPerGPU(g, m, inter.Schedule, ios.Options{})
 		if err != nil {
-			return Figure{}, err
+			return [3]float64{}, err
 		}
-		samples[2].Add(perGPU.Latency)
+		return [3]float64{inter.Latency, alg2.Latency, perGPU.Latency}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for _, lats := range rows {
+		for i := range samples {
+			samples[i].Add(lats[i])
+		}
 	}
 	for i, l := range labels {
 		fig.Series = append(fig.Series, Series{

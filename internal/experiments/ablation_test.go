@@ -3,7 +3,6 @@ package experiments
 import "testing"
 
 func TestAblationWindowMonotone(t *testing.T) {
-	skipIfRace(t)
 	opt := SimOptions{Seeds: 2, GPUs: 4}
 	fig, err := AblationWindow(opt)
 	if err != nil {
@@ -25,7 +24,6 @@ func TestAblationWindowMonotone(t *testing.T) {
 }
 
 func TestAblationIOSPruningImproves(t *testing.T) {
-	skipIfRace(t)
 	opt := SimOptions{Seeds: 1, GPUs: 4}
 	fig, err := AblationIOSPruning(opt)
 	if err != nil {
@@ -42,7 +40,6 @@ func TestAblationIOSPruningImproves(t *testing.T) {
 }
 
 func TestAblationLinkContention(t *testing.T) {
-	skipIfRace(t)
 	fig, err := AblationLinkContention(Inception, 1024)
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +68,6 @@ func TestAblationLinkContention(t *testing.T) {
 }
 
 func TestNCCLOverlapHelpsLP(t *testing.T) {
-	skipIfRace(t)
 	fig, err := NCCLOverlap(NASNet, 331)
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +89,6 @@ func TestNCCLOverlapHelpsLP(t *testing.T) {
 }
 
 func TestOptimalityGap(t *testing.T) {
-	skipIfRace(t)
 	fig, err := OptimalityGap(4, 14)
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +109,6 @@ func TestOptimalityGap(t *testing.T) {
 }
 
 func TestClusterStudy(t *testing.T) {
-	skipIfRace(t)
 	fig, err := ClusterStudy(SimOptions{Seeds: 2, GPUs: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -152,7 +146,6 @@ func TestClusterStudy(t *testing.T) {
 }
 
 func TestAblationIntraGPU(t *testing.T) {
-	skipIfRace(t)
 	fig, err := AblationIntraGPU(SimOptions{Seeds: 2, GPUs: 4})
 	if err != nil {
 		t.Fatal(err)

@@ -86,3 +86,25 @@ func BenchmarkSchedulerIOSNASNet(b *testing.B) {
 }
 
 func benchPlatform() gpu.Platform { return gpu.DualA40() }
+
+// Sweep benchmarks: the end-to-end statistical drivers the parallel pool
+// accelerates. The Width1 variant pins the serial reference path — it must
+// not regress against the pre-pool serial loop — and FullWidth runs the
+// identical sweep on a GOMAXPROCS-wide pool, which on a multi-core runner
+// should scale toward the core count while producing byte-identical
+// figures (TestFig7ParallelMatchesSerial). Comparing the two on one
+// machine gives the sweep engine's parallel efficiency.
+
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	opt := SimOptions{Seeds: 2, GPUs: 4, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig10(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepFig10Width1(b *testing.B)    { benchSweep(b, 1) }
+func BenchmarkSweepFig10FullWidth(b *testing.B) { benchSweep(b, 0) }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/gpu"
+	"github.com/shus-lab/hios/internal/parallel"
 	"github.com/shus-lab/hios/internal/randdag"
 	"github.com/shus-lab/hios/internal/sched"
 	"github.com/shus-lab/hios/internal/sched/lp"
@@ -35,32 +36,46 @@ func ClusterStudy(opt SimOptions) (Figure, error) {
 		aware[i] = &stats.Sample{}
 		blind[i] = &stats.Sample{}
 	}
-	for seed := int64(1); seed <= int64(opt.Seeds); seed++ {
+	type row struct {
+		aware, blind []float64
+	}
+	rows, err := parallel.Map(opt.Seeds, opt.Workers, func(t int) (row, error) {
 		cfg := randdag.Paper()
-		cfg.Seed = seed
+		cfg.Seed = int64(t) + 1
 		g, err := randdag.Generate(cfg)
 		if err != nil {
-			return Figure{}, err
+			return row{}, err
 		}
 		flat := cost.FromGraph(g, cost.DefaultContention())
 		// Blind: one schedule decided on the flat model, reused at
 		// every factor (the scheduler does not know the topology).
 		blindRes, err := lp.Schedule(g, flat, lp.Options{GPUs: nodes * perNode})
 		if err != nil {
-			return Figure{}, err
+			return row{}, err
 		}
+		r := row{aware: make([]float64, len(factors)), blind: make([]float64, len(factors))}
 		for i, f := range factors {
 			topo := cost.WithTopology(flat, gpu.TwoLevel(nodes, perNode, f))
 			awareRes, err := lp.Schedule(g, topo, lp.Options{GPUs: nodes * perNode})
 			if err != nil {
-				return Figure{}, err
+				return row{}, err
 			}
-			aware[i].Add(awareRes.Latency)
+			r.aware[i] = awareRes.Latency
 			blindLat, err := sched.Latency(g, topo, blindRes.Schedule)
 			if err != nil {
-				return Figure{}, err
+				return row{}, err
 			}
-			blind[i].Add(blindLat)
+			r.blind[i] = blindLat
+		}
+		return r, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for _, r := range rows {
+		for i := range factors {
+			aware[i].Add(r.aware[i])
+			blind[i].Add(r.blind[i])
 		}
 	}
 	fig.Series = []Series{

@@ -15,17 +15,6 @@ import (
 // full 30 seeds.
 func fastSim() SimOptions { return SimOptions{Seeds: 3, GPUs: 4} }
 
-// skipIfRace skips a serial statistical sweep under the race detector:
-// the sweep holds no goroutines, so -race adds only its ~10x slowdown.
-// The concurrent executor is race-tested in internal/runtime and
-// internal/mpi, which never skip.
-func skipIfRace(t *testing.T) {
-	t.Helper()
-	if raceEnabled {
-		t.Skip("serial sweep skipped under -race; concurrency is covered by internal/runtime and internal/mpi race tests")
-	}
-}
-
 func TestRunDispatchesAllAlgorithms(t *testing.T) {
 	cfg := randdag.Paper()
 	cfg.Ops, cfg.Layers, cfg.Deps, cfg.Seed = 30, 5, 60, 1
@@ -85,7 +74,6 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	skipIfRace(t)
 	fig, err := Fig7(fastSim())
 	if err != nil {
 		t.Fatal(err)
@@ -124,7 +112,6 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	skipIfRace(t)
 	opt := fastSim()
 	fig, err := Fig8(opt)
 	if err != nil {
@@ -152,7 +139,6 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	skipIfRace(t)
 	opt := fastSim()
 	opt.Seeds = 6
 	fig, err := Fig9(opt)
@@ -182,7 +168,6 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	skipIfRace(t)
 	fig, err := Fig10(fastSim())
 	if err != nil {
 		t.Fatal(err)
@@ -203,7 +188,6 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
-	skipIfRace(t)
 	fig, err := Fig11(fastSim())
 	if err != nil {
 		t.Fatal(err)
@@ -221,7 +205,6 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
-	skipIfRace(t)
 	// Small sweep for speed: default and one large size per benchmark.
 	fig, err := Fig12(Inception, []int{299, 2048})
 	if err != nil {
@@ -249,7 +232,6 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestFig14Shape(t *testing.T) {
-	skipIfRace(t)
 	fig, err := Fig14(Inception, []int{299, 1024})
 	if err != nil {
 		t.Fatal(err)
@@ -289,7 +271,6 @@ func TestFigureRenderAndAt(t *testing.T) {
 }
 
 func TestMeasureSchedulingCostBreakdown(t *testing.T) {
-	skipIfRace(t)
 	c, err := MeasureSchedulingCost(AlgoHIOSLP, Inception, 299)
 	if err != nil {
 		t.Fatal(err)
@@ -309,7 +290,6 @@ func TestBuildBenchmarkRejectsUnknown(t *testing.T) {
 }
 
 func TestFig13Scenarios(t *testing.T) {
-	skipIfRace(t)
 	fig, labels, err := Fig13()
 	if err != nil {
 		t.Fatal(err)

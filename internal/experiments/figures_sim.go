@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/parallel"
 	"github.com/shus-lab/hios/internal/randdag"
 	"github.com/shus-lab/hios/internal/stats"
 )
@@ -17,6 +18,12 @@ type SimOptions struct {
 	GPUs int
 	// Window is the sliding-window size w (0 = default).
 	Window int
+	// Workers bounds the sweep worker pool: every (x, seed) cell of a
+	// sweep is an independent task scheduled on up to Workers goroutines.
+	// 0 selects GOMAXPROCS; 1 forces the serial reference path. Results
+	// are merged in index order, so the figure is byte-identical at any
+	// width (see internal/parallel and DESIGN.md §7).
+	Workers int
 }
 
 // DefaultSim returns the paper's §V-A settings.
@@ -35,6 +42,12 @@ func (o *SimOptions) fill() {
 // and aggregates latencies per x value. cfgAt generates the model family
 // at x; runAt supplies the scheduler configuration at x (Fig. 7 varies the
 // GPU count along x, the other sweeps keep it fixed).
+//
+// Every (x, seed) cell is one task on the deterministic pool: it derives a
+// private graph and cost model from its seed and returns the six algorithm
+// latencies. The results are merged serially in (x, seed, algorithm) order
+// — the exact accumulation order of the single-threaded loop — so the
+// figure is byte-identical at any pool width.
 func sweep(id, title, xlabel string, xs []float64,
 	cfgAt func(x float64, seed int64) randdag.Config,
 	runAt func(x float64) RunConfig,
@@ -49,21 +62,32 @@ func sweep(id, title, xlabel string, xs []float64,
 			samples[a][i] = &stats.Sample{}
 		}
 	}
-	for i, x := range xs {
+	cells, err := parallel.Map(len(xs)*opt.Seeds, opt.Workers, func(t int) ([]float64, error) {
+		i, seed := t/opt.Seeds, int64(t%opt.Seeds)+1
+		x := xs[i]
+		g, err := randdag.Generate(cfgAt(x, seed))
+		if err != nil {
+			return nil, fmt.Errorf("%s: x=%g seed=%d: %w", id, x, seed, err)
+		}
+		m := cost.FromGraph(g, cost.DefaultContention())
 		rc := runAt(x)
-		for seed := int64(1); seed <= int64(opt.Seeds); seed++ {
-			g, err := randdag.Generate(cfgAt(x, seed))
+		lats := make([]float64, len(AllAlgorithms))
+		for ai, a := range AllAlgorithms {
+			res, err := Run(a, g, m, rc)
 			if err != nil {
-				return Figure{}, fmt.Errorf("%s: x=%g seed=%d: %w", id, x, seed, err)
+				return nil, fmt.Errorf("%s: %s x=%g seed=%d: %w", id, a, x, seed, err)
 			}
-			m := cost.FromGraph(g, cost.DefaultContention())
-			for _, a := range AllAlgorithms {
-				res, err := Run(a, g, m, rc)
-				if err != nil {
-					return Figure{}, fmt.Errorf("%s: %s x=%g seed=%d: %w", id, a, x, seed, err)
-				}
-				samples[a][i].Add(res.Latency)
-			}
+			lats[ai] = res.Latency
+		}
+		return lats, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for t, lats := range cells {
+		i := t / opt.Seeds
+		for ai, a := range AllAlgorithms {
+			samples[a][i].Add(lats[ai])
 		}
 	}
 	for _, a := range AllAlgorithms {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/parallel"
 	"github.com/shus-lab/hios/internal/randdag"
 	"github.com/shus-lab/hios/internal/sched/bnb"
 	"github.com/shus-lab/hios/internal/sched/lp"
@@ -41,34 +42,41 @@ func OptimalityGap(seeds, ops int) (Figure, error) {
 		gapLP[i] = &stats.Sample{}
 		gapMR[i] = &stats.Sample{}
 	}
-	for i, x := range xs {
-		gpus := int(x)
-		for seed := int64(1); seed <= int64(seeds); seed++ {
-			cfg := randdag.Paper()
-			cfg.Ops = ops
-			cfg.Layers = 4
-			cfg.Deps = 2 * ops
-			cfg.Seed = seed
-			g, err := randdag.Generate(cfg)
-			if err != nil {
-				return Figure{}, err
-			}
-			m := cost.FromGraph(g, cost.DefaultContention())
-			opt, err := bnb.Schedule(g, m, bnb.Options{GPUs: gpus, MaxNodes: 20_000_000})
-			if err != nil && !errors.Is(err, bnb.ErrTruncated) {
-				return Figure{}, err
-			}
-			lpRes, err := lp.Schedule(g, m, lp.Options{GPUs: gpus, InterOnly: true})
-			if err != nil {
-				return Figure{}, err
-			}
-			mrRes, err := mr.Schedule(g, m, mr.Options{GPUs: gpus, InterOnly: true})
-			if err != nil {
-				return Figure{}, err
-			}
-			gapLP[i].Add(lpRes.Latency / opt.Latency)
-			gapMR[i].Add(mrRes.Latency / opt.Latency)
+	// One pool task per (gpu count, seed) cell; the exact branch-and-bound
+	// reference dominates each task's cost, so the cells parallelize well.
+	cells, err := parallel.Map(len(xs)*seeds, 0, func(t int) ([2]float64, error) {
+		gpus := int(xs[t/seeds])
+		cfg := randdag.Paper()
+		cfg.Ops = ops
+		cfg.Layers = 4
+		cfg.Deps = 2 * ops
+		cfg.Seed = int64(t%seeds) + 1
+		g, err := randdag.Generate(cfg)
+		if err != nil {
+			return [2]float64{}, err
 		}
+		m := cost.FromGraph(g, cost.DefaultContention())
+		opt, err := bnb.Schedule(g, m, bnb.Options{GPUs: gpus, MaxNodes: 20_000_000})
+		if err != nil && !errors.Is(err, bnb.ErrTruncated) {
+			return [2]float64{}, err
+		}
+		lpRes, err := lp.Schedule(g, m, lp.Options{GPUs: gpus, InterOnly: true})
+		if err != nil {
+			return [2]float64{}, err
+		}
+		mrRes, err := mr.Schedule(g, m, mr.Options{GPUs: gpus, InterOnly: true})
+		if err != nil {
+			return [2]float64{}, err
+		}
+		return [2]float64{lpRes.Latency / opt.Latency, mrRes.Latency / opt.Latency}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for t, ratios := range cells {
+		i := t / seeds
+		gapLP[i].Add(ratios[0])
+		gapMR[i].Add(ratios[1])
 	}
 	fig.Series = []Series{
 		collect(AlgoInterLP, xs, gapLP),

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// renderBoth returns the text and JSON renderings of a figure, so the
+// equivalence tests compare every byte a consumer could observe.
+func renderBoth(t *testing.T, fig Figure) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(fig.String())
+	if err := fig.RenderJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestFig7ParallelMatchesSerial pins the determinism contract of the
+// parallel sweep engine (DESIGN.md §7): the same sweep run on the serial
+// reference path (Workers = 1) and on an oversubscribed worker pool must
+// render byte-identical output — same values, same ordering, down to the
+// last ULP of every mean and standard deviation.
+func TestFig7ParallelMatchesSerial(t *testing.T) {
+	serial := fastSim()
+	serial.Workers = 1
+	wide := fastSim()
+	// Oversubscribe so completion order differs from submission order
+	// even on a single-core runner.
+	wide.Workers = runtime.GOMAXPROCS(0) + 3
+
+	sFig, err := Fig7(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wFig, err := Fig7(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOut, wOut := renderBoth(t, sFig), renderBoth(t, wFig)
+	if sOut != wOut {
+		t.Fatalf("Fig7 diverges between serial and parallel sweeps:\n--- serial ---\n%s\n--- parallel ---\n%s", sOut, wOut)
+	}
+}
+
+// TestAblationWindowParallelMatchesSerial is the same contract for the
+// ablation driver, whose merge path (per-seed rows folded in seed order)
+// differs from the figure sweeps'.
+func TestAblationWindowParallelMatchesSerial(t *testing.T) {
+	serial := fastSim()
+	serial.Workers = 1
+	wide := fastSim()
+	wide.Workers = runtime.GOMAXPROCS(0) + 3
+
+	sFig, err := AblationWindow(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wFig, err := AblationWindow(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOut, wOut := renderBoth(t, sFig), renderBoth(t, wFig)
+	if sOut != wOut {
+		t.Fatalf("AblationWindow diverges between serial and parallel sweeps:\n--- serial ---\n%s\n--- parallel ---\n%s", sOut, wOut)
+	}
+}

@@ -1,0 +1,103 @@
+// Package parallel is the deterministic worker pool behind the
+// statistical sweeps in internal/experiments.
+//
+// The repository's determinism contract (DESIGN.md §7) requires that a
+// figure regenerated from the same seeds is byte-identical regardless of
+// how many cores ran the sweep. The pool guarantees this by separating
+// computation from aggregation: tasks are pure functions of their index,
+// their results are collected into a slice in index order, and callers
+// merge that slice serially — so every floating-point accumulation happens
+// in exactly the order the single-threaded loop would have used. Nothing
+// in this package reads the wall clock or any global random state.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWidth returns the pool width used when a caller passes width <= 0:
+// the current GOMAXPROCS setting, i.e. one worker per schedulable core.
+func DefaultWidth() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(i) for every i in [0, n) on up to width concurrent workers
+// and returns the n results in index order. width <= 0 selects
+// DefaultWidth; width 1 runs inline on the calling goroutine, which is the
+// reference serial path the equivalence tests compare against.
+//
+// fn must be safe to call from multiple goroutines for distinct indices;
+// the usual sweep shape — generate a private graph and cost model from the
+// task's seed, schedule, return latencies — shares nothing between tasks.
+//
+// On error the pool stops handing out new indices and Map returns the
+// error with the lowest index among the tasks that ran (so a failure is
+// attributed to the earliest offending task, matching the serial loop
+// whenever errors are deterministic). The partial results are discarded.
+func Map[T any](n, width int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if width <= 0 {
+		width = DefaultWidth()
+	}
+	if width > n {
+		width = n
+	}
+	out := make([]T, n)
+	if width == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+	)
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if firstIdx < 0 || i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstIdx >= 0 {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// ForEach is Map for tasks that produce no value: it runs fn(i) for every
+// i in [0, n) on up to width workers and returns the lowest-indexed error.
+func ForEach(n, width int, fn func(i int) error) error {
+	_, err := Map(n, width, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

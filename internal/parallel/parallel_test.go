@@ -1,0 +1,119 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapReturnsResultsInIndexOrder(t *testing.T) {
+	for _, width := range []int{0, 1, 2, 7, 64} {
+		out, err := Map(50, width, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("width %d: %d results", width, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("width %d: out[%d] = %d, want %d", width, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("Map(0) = %v, %v", out, err)
+	}
+}
+
+func TestMapMatchesSerialAccumulation(t *testing.T) {
+	// The determinism contract in one assertion: merging Map's results in
+	// index order reproduces the serial loop's floating-point sum exactly,
+	// bit for bit, at any width.
+	f := func(i int) (float64, error) { return 1.0 / float64(i+3), nil }
+	want := 0.0
+	for i := 0; i < 1000; i++ {
+		v, _ := f(i)
+		want += v
+	}
+	for _, width := range []int{1, 3, 16} {
+		out, err := Map(1000, width, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0.0
+		for _, v := range out {
+			got += v
+		}
+		if got != want { //nolint: the whole point is exact equality
+			t.Fatalf("width %d: sum %v != serial %v", width, got, want)
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, width := range []int{1, 4} {
+		_, err := Map(100, width, func(i int) (int, error) {
+			if i == 7 || i == 60 {
+				return 0, fmt.Errorf("task %d: %w", i, sentinel)
+			}
+			return i, nil
+		})
+		if err == nil || !errors.Is(err, sentinel) {
+			t.Fatalf("width %d: err = %v", width, err)
+		}
+		// Task 7 always runs before the pool drains; with deterministic
+		// per-index errors it must win attribution over task 60.
+		if got := err.Error(); got != "task 7: boom" {
+			t.Fatalf("width %d: error attributed to %q, want task 7", width, got)
+		}
+	}
+}
+
+func TestMapStopsSchedulingAfterError(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(1_000_000, 4, func(i int) (int, error) {
+		ran.Add(1)
+		return 0, errors.New("immediate")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n > 1000 {
+		t.Fatalf("pool kept scheduling after an error: %d tasks ran", n)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(100, 0, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	if err := ForEach(10, 2, func(i int) error {
+		if i == 3 {
+			return errors.New("x")
+		}
+		return nil
+	}); err == nil {
+		t.Fatal("ForEach swallowed the error")
+	}
+}
+
+func TestMapWidthAboveTaskCount(t *testing.T) {
+	out, err := Map(3, 100, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 3 {
+		t.Fatalf("out = %v, err = %v", out, err)
+	}
+}

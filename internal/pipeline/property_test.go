@@ -15,10 +15,16 @@ import (
 //
 //   - request-0 latency equals the evaluator's single-request latency;
 //   - the steady period never exceeds that latency;
-//   - the steady period is at least the bottleneck GPU's busy time;
+//   - the mean inter-completion period is at least the bottleneck GPU's
+//     busy time minus latency/(K-1) — the finite-K form of the
+//     "period >= bottleneck busy time" law. The bound on a SINGLE gap is
+//     not a theorem: request 0's completion can be inflated by a slow
+//     non-bottleneck GPU, so individual gaps converge to the busy time
+//     from below (the mean bound follows from C_{K-1} >= (K-1)*busy and
+//     C_0 = latency);
 //   - completions are strictly increasing.
-func TestPipelineInvariantsProperty(t *testing.T) {
-	f := func(seed int64) bool {
+func propertyForTest() func(seed int64) bool {
+	return func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		cfg := randdag.Paper()
 		cfg.Ops = 8 + rng.Intn(30)
@@ -57,7 +63,8 @@ func TestPipelineInvariantsProperty(t *testing.T) {
 				maxBusy = busy
 			}
 		}
-		if rep.SteadyPeriodMs < maxBusy-1e-9 {
+		meanGap := (rep.Completions[rep.Requests-1] - rep.Completions[0]) / float64(rep.Requests-1)
+		if meanGap < maxBusy-rep.LatencyMs/float64(rep.Requests-1)-1e-9 {
 			return false
 		}
 		for r := 1; r < rep.Requests; r++ {
@@ -67,7 +74,10 @@ func TestPipelineInvariantsProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+}
+
+func TestPipelineInvariantsProperty(t *testing.T) {
+	if err := quick.Check(propertyForTest(), &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
 	}
 }

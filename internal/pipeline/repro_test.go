@@ -1,0 +1,13 @@
+package pipeline
+
+import "testing"
+
+// TestPropertyRegressionSeed pins the input that exposed the finite-K
+// flake in the steady-period lower bound: a 21-op, 3-GPU schedule whose
+// completion gaps converge to the bottleneck busy time from below, so
+// the single-gap bound fails while the mean bound holds.
+func TestPropertyRegressionSeed(t *testing.T) {
+	if !propertyForTest()(-1541991718189644717) {
+		t.Fatal("pipeline invariants fail on regression seed")
+	}
+}

@@ -1,0 +1,58 @@
+package profile
+
+import (
+	"testing"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/randdag"
+)
+
+// BenchmarkStageSig measures the cost of building the memoization key for
+// a typical 4-operator stage probe. The byte-string key this replaced
+// allocated twice per probe (the sorted copy and the string); the inline
+// stageSig performs zero heap allocations — check allocs/op with
+// `go test -bench StageSig -benchmem ./internal/profile`.
+func BenchmarkStageSig(b *testing.B) {
+	ops := []graph.OpID{17, 4, 199, 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink stageSig
+	for i := 0; i < b.N; i++ {
+		sink = makeStageSig(ops)
+	}
+	_ = sink
+}
+
+// BenchmarkStageSigWide exercises the spill path (> stageSigInline
+// members), which pays the sorted copy plus one string — acceptable
+// because no scheduler probes stages this wide (IOS caps at MaxStage = 8).
+func BenchmarkStageSigWide(b *testing.B) {
+	ops := []graph.OpID{12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink stageSig
+	for i := 0; i < b.N; i++ {
+		sink = makeStageSig(ops)
+	}
+	_ = sink
+}
+
+// BenchmarkStageTimeHit measures a memoized stage probe end to end: key
+// build + read-locked lookup. This is the table's steady state inside the
+// IOS dynamic program and must stay allocation-free.
+func BenchmarkStageTimeHit(b *testing.B) {
+	cfg := randdag.Paper()
+	cfg.Ops, cfg.Layers, cfg.Deps, cfg.Seed = 50, 5, 100, 3
+	g := randdag.MustGenerate(cfg)
+	tab := NewTable(cost.FromGraph(g, cost.DefaultContention()), 1, 1)
+	ops := []graph.OpID{3, 9, 21, 33}
+	tab.StageTime(ops) // memoize
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = tab.StageTime(ops)
+	}
+	_ = sink
+}

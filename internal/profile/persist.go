@@ -43,8 +43,8 @@ type StageEntry struct {
 
 // Export serializes every measurement the table has performed so far.
 func (t *CostTable) Export(model string) ([]byte, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	snap := Snapshot{
 		Model:   model,
 		Warmup:  t.warmup,
@@ -64,7 +64,7 @@ func (t *CostTable) Export(model string) ([]byte, error) {
 		return snap.Comms[i].To < snap.Comms[j].To
 	})
 	for k, v := range t.stages {
-		snap.Stages = append(snap.Stages, StageEntry{Ops: decodeStageKey(k), Ms: v})
+		snap.Stages = append(snap.Stages, StageEntry{Ops: k.members(), Ms: v})
 	}
 	sort.Slice(snap.Stages, func(i, j int) bool {
 		a, b := snap.Stages[i].Ops, snap.Stages[j].Ops
@@ -90,7 +90,7 @@ func Import(data []byte) (*FrozenModel, error) {
 		Model:  snap.Model,
 		ops:    snap.Ops,
 		comms:  make(map[[2]graph.OpID]float64, len(snap.Comms)),
-		stages: make(map[string]float64, len(snap.Stages)),
+		stages: make(map[stageSig]float64, len(snap.Stages)),
 	}
 	if fm.ops == nil {
 		fm.ops = map[graph.OpID]float64{}
@@ -99,7 +99,7 @@ func Import(data []byte) (*FrozenModel, error) {
 		fm.comms[[2]graph.OpID{c.From, c.To}] = c.Ms
 	}
 	for _, st := range snap.Stages {
-		fm.stages[stageKey(st.Ops)] = st.Ms
+		fm.stages[makeStageSig(st.Ops)] = st.Ms
 	}
 	return fm, nil
 }
@@ -112,7 +112,7 @@ type FrozenModel struct {
 	Model  string
 	ops    map[graph.OpID]float64
 	comms  map[[2]graph.OpID]float64
-	stages map[string]float64
+	stages map[stageSig]float64
 	misses int
 }
 
@@ -141,7 +141,7 @@ func (f *FrozenModel) StageTime(ops []graph.OpID) float64 {
 	if len(ops) == 1 {
 		return f.OpTime(ops[0])
 	}
-	if t, ok := f.stages[stageKey(ops)]; ok {
+	if t, ok := f.stages[makeStageSig(ops)]; ok {
 		return t
 	}
 	f.misses++
@@ -154,13 +154,3 @@ func (f *FrozenModel) StageTime(ops []graph.OpID) float64 {
 
 // Misses returns how many lookups fell outside the recorded profile.
 func (f *FrozenModel) Misses() int { return f.misses }
-
-// decodeStageKey inverts stageKey.
-func decodeStageKey(k string) []graph.OpID {
-	b := []byte(k)
-	out := make([]graph.OpID, 0, len(b)/4)
-	for i := 0; i+3 < len(b); i += 4 {
-		out = append(out, graph.OpID(uint32(b[i])|uint32(b[i+1])<<8|uint32(b[i+2])<<16|uint32(b[i+3])<<24))
-	}
-	return out
-}

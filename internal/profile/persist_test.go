@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"sort"
 	"testing"
 
 	"github.com/shus-lab/hios/internal/cost"
@@ -85,16 +86,36 @@ func TestImportRejectsGarbage(t *testing.T) {
 	}
 }
 
-func TestStageKeyRoundTrip(t *testing.T) {
-	ops := []graph.OpID{7, 300, 70000, 2}
-	got := decodeStageKey(stageKey(ops))
-	want := []graph.OpID{2, 7, 300, 70000} // stageKey sorts
-	if len(got) != len(want) {
-		t.Fatalf("decode = %v", got)
+func TestStageSigRoundTrip(t *testing.T) {
+	cases := [][]graph.OpID{
+		{7, 300, 70000, 2},                         // inline path
+		{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 11, 10, 13}, // spills past stageSigInline
+		{1 << 40, 3, 1 << 33},                      // IDs above 32 bits survive the encoding
 	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("decode = %v, want %v", got, want)
+	for _, ops := range cases {
+		got := makeStageSig(ops).members()
+		want := append([]graph.OpID(nil), ops...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("members(%v) = %v", ops, got)
 		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("members(%v) = %v, want %v", ops, got, want)
+			}
+		}
+	}
+}
+
+func TestStageSigOrderInsensitive(t *testing.T) {
+	a := makeStageSig([]graph.OpID{5, 1, 9, 3})
+	b := makeStageSig([]graph.OpID{9, 3, 5, 1})
+	if a != b {
+		t.Fatal("stageSig depends on member order")
+	}
+	wideA := makeStageSig([]graph.OpID{12, 11, 10, 9, 8, 7, 6, 5, 4, 3})
+	wideB := makeStageSig([]graph.OpID{3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	if wideA != wideB {
+		t.Fatal("wide stageSig depends on member order")
 	}
 }

@@ -28,14 +28,28 @@ const (
 )
 
 // CostTable is a memoizing, probe-counting cost.Model.
+//
+// Lookups take a read lock only, so concurrent sweeps sharing one table
+// scale with cores once the working set is memoized; a miss upgrades to
+// the write lock with a double-check, which also keeps the probe counters
+// exact. Concurrent use requires the wrapped model's own lookups to be
+// safe for concurrent readers (every model in internal/cost is: they are
+// pure functions over immutable graph data).
+//
+// Determinism under concurrency: memoized values and probe counts are
+// exact regardless of interleaving (misses double-check under the write
+// lock). Only SimulatedMs accumulates in probe-completion order, so a
+// table probed from several goroutines may report last-ulp differences
+// across runs; probe it from one goroutine (as Fig. 14 does) when the
+// exact float matters.
 type CostTable struct {
 	inner   cost.Model
 	warmup  int
 	repeats int
 
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	ops    map[graph.OpID]float64
-	stages map[string]float64
+	stages map[stageSig]float64
 	comms  map[[2]graph.OpID]float64
 	simMs  float64
 }
@@ -56,19 +70,25 @@ func NewTable(m cost.Model, warmup, repeats int) *CostTable {
 		warmup:  warmup,
 		repeats: repeats,
 		ops:     make(map[graph.OpID]float64),
-		stages:  make(map[string]float64),
+		stages:  make(map[stageSig]float64),
 		comms:   make(map[[2]graph.OpID]float64),
 	}
 }
 
 // OpTime implements cost.Model.
 func (t *CostTable) OpTime(v graph.OpID) float64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if x, ok := t.ops[v]; ok {
+	t.mu.RLock()
+	x, ok := t.ops[v]
+	t.mu.RUnlock()
+	if ok {
 		return x
 	}
-	x := t.inner.OpTime(v)
+	x = t.inner.OpTime(v)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old, ok := t.ops[v]; ok {
+		return old // another prober measured it first
+	}
 	t.ops[v] = x
 	t.simMs += float64(t.warmup+t.repeats) * x
 	return x
@@ -77,12 +97,18 @@ func (t *CostTable) OpTime(v graph.OpID) float64 {
 // CommTime implements cost.Model.
 func (t *CostTable) CommTime(u, v graph.OpID) float64 {
 	key := [2]graph.OpID{u, v}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if x, ok := t.comms[key]; ok {
+	t.mu.RLock()
+	x, ok := t.comms[key]
+	t.mu.RUnlock()
+	if ok {
 		return x
 	}
-	x := t.inner.CommTime(u, v)
+	x = t.inner.CommTime(u, v)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old, ok := t.comms[key]; ok {
+		return old
+	}
 	t.comms[key] = x
 	t.simMs += float64(t.warmup+t.repeats) * x
 	return x
@@ -94,13 +120,19 @@ func (t *CostTable) StageTime(ops []graph.OpID) float64 {
 	if len(ops) == 1 {
 		return t.OpTime(ops[0])
 	}
-	key := stageKey(ops)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if x, ok := t.stages[key]; ok {
+	key := makeStageSig(ops)
+	t.mu.RLock()
+	x, ok := t.stages[key]
+	t.mu.RUnlock()
+	if ok {
 		return x
 	}
-	x := t.inner.StageTime(ops)
+	x = t.inner.StageTime(ops)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old, ok := t.stages[key]; ok {
+		return old
+	}
 	t.stages[key] = x
 	t.simMs += float64(t.warmup+t.repeats) * x
 	return x
@@ -120,8 +152,8 @@ func (s Stats) Probes() int { return s.OpProbes + s.StageProbes + s.CommProbes }
 
 // Stats returns the accounting snapshot.
 func (t *CostTable) Stats() Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return Stats{
 		OpProbes:    len(t.ops),
 		StageProbes: len(t.stages),
@@ -130,13 +162,68 @@ func (t *CostTable) Stats() Stats {
 	}
 }
 
-func stageKey(ops []graph.OpID) string {
+// stageSigInline is how many member IDs a stageSig stores inline. The IOS
+// dynamic program — the hot caller — never probes stages wider than its
+// MaxStage default of 8, so the inline array covers every probe the
+// schedulers issue without allocating.
+const stageSigInline = 8
+
+// stageSig is a comparable key identifying a concurrent-stage probe by its
+// sorted member set. Up to stageSigInline members live in the fixed array;
+// wider stages (possible through direct API use only) spill the remainder
+// into an encoded string. Building a key for an inline-sized stage
+// performs zero heap allocations, unlike the byte-string key it replaced —
+// the IOS DP issues millions of probes per block, so the key build was the
+// table's dominant allocation site (see BenchmarkStageSig).
+type stageSig struct {
+	n    int
+	ids  [stageSigInline]graph.OpID
+	rest string
+}
+
+// makeStageSig builds the canonical (sorted-member) key for ops.
+func makeStageSig(ops []graph.OpID) stageSig {
+	k := stageSig{n: len(ops)}
+	if len(ops) <= stageSigInline {
+		copy(k.ids[:], ops)
+		ids := k.ids[:len(ops)]
+		// Insertion sort on the stack array: stages are tiny and nearly
+		// sorted already (schedulers keep stage members ID-ordered).
+		for a := 1; a < len(ids); a++ {
+			for b := a; b > 0 && ids[b] < ids[b-1]; b-- {
+				ids[b], ids[b-1] = ids[b-1], ids[b]
+			}
+		}
+		return k
+	}
 	s := make([]graph.OpID, len(ops))
 	copy(s, ops)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	buf := make([]byte, 0, 4*len(s))
-	for _, id := range s {
-		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	copy(k.ids[:], s[:stageSigInline])
+	buf := make([]byte, 0, 8*(len(s)-stageSigInline))
+	for _, id := range s[stageSigInline:] {
+		buf = append(buf,
+			byte(id), byte(id>>8), byte(id>>16), byte(id>>24),
+			byte(id>>32), byte(id>>40), byte(id>>48), byte(id>>56))
 	}
-	return string(buf)
+	k.rest = string(buf)
+	return k
+}
+
+// members reconstructs the sorted member set the key encodes.
+func (k stageSig) members() []graph.OpID {
+	out := make([]graph.OpID, 0, k.n)
+	inline := k.n
+	if inline > stageSigInline {
+		inline = stageSigInline
+	}
+	out = append(out, k.ids[:inline]...)
+	for i := 0; i+7 < len(k.rest); i += 8 {
+		var id uint64
+		for j := 7; j >= 0; j-- {
+			id = id<<8 | uint64(k.rest[i+j])
+		}
+		out = append(out, graph.OpID(id))
+	}
+	return out
 }

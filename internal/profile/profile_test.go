@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"sync"
 	"testing"
 
 	"github.com/shus-lab/hios/internal/cost"
@@ -157,5 +158,56 @@ func TestIOSProbesMoreStagesThanLP(t *testing.T) {
 	lpProbes := tab2.Stats().StageProbes
 	if iosProbes <= 2*lpProbes {
 		t.Fatalf("IOS probes (%d) should far exceed window probes (%d)", iosProbes, lpProbes)
+	}
+}
+
+// TestConcurrentProbesStayExact hammers one table from many goroutines
+// and checks the accounting afterwards: probe counts must equal the
+// distinct probe population (no double-counted misses despite the
+// read-lock fast path), and every memoized value must match the inner
+// model exactly.
+func TestConcurrentProbesStayExact(t *testing.T) {
+	cfg := randdag.Paper()
+	cfg.Ops, cfg.Layers, cfg.Deps, cfg.Seed = 40, 5, 80, 5
+	g := randdag.MustGenerate(cfg)
+	inner := cost.FromGraph(g, cost.DefaultContention())
+	tab := NewTable(inner, 1, 1)
+
+	n := g.NumOps()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for v := 0; v < n; v++ {
+					tab.OpTime(graph.OpID(v))
+				}
+				for v := 0; v+3 < n; v += 2 {
+					tab.StageTime([]graph.OpID{graph.OpID(v), graph.OpID(v + 1), graph.OpID(v + 3)})
+				}
+				tab.CommTime(graph.OpID(w), graph.OpID(w+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := tab.Stats()
+	if st.OpProbes != n {
+		t.Fatalf("OpProbes = %d, want %d", st.OpProbes, n)
+	}
+	wantStages := 0
+	for v := 0; v+3 < n; v += 2 {
+		wantStages++
+		ops := []graph.OpID{graph.OpID(v), graph.OpID(v + 1), graph.OpID(v + 3)}
+		if got, want := tab.StageTime(ops), inner.StageTime(ops); got != want { //lint:floatexact memoized value must be bit-identical
+			t.Fatalf("stage %v: %v != %v", ops, got, want)
+		}
+	}
+	if st.StageProbes != wantStages {
+		t.Fatalf("StageProbes = %d, want %d", st.StageProbes, wantStages)
+	}
+	if st.CommProbes != 8 {
+		t.Fatalf("CommProbes = %d, want 8", st.CommProbes)
 	}
 }

@@ -42,10 +42,11 @@ type Timing struct {
 // All operators of a stage start simultaneously; the stage's duration is
 // the cost model's t(S).
 func Evaluate(g *graph.Graph, m cost.Model, s *Schedule) (*Timing, error) {
-	if err := Validate(g, s); err != nil {
+	var e Evaluator
+	if err := e.validate(g, s, false); err != nil {
 		return nil, err
 	}
-	return evaluate(g, m, s)
+	return e.timing(g, m, s)
 }
 
 // EvaluatePartial is Evaluate for schedules covering only a subset of the
@@ -53,151 +54,262 @@ func Evaluate(g *graph.Graph, m cost.Model, s *Schedule) (*Timing, error) {
 // Dependencies touching an unscheduled operator are ignored; scheduled
 // operators must still appear exactly once.
 func EvaluatePartial(g *graph.Graph, m cost.Model, s *Schedule) (*Timing, error) {
-	if err := ValidatePartial(g, s); err != nil {
+	var e Evaluator
+	if err := e.validate(g, s, true); err != nil {
 		return nil, err
 	}
-	return evaluate(g, m, s)
+	return e.timing(g, m, s)
 }
 
-func evaluate(g *graph.Graph, m cost.Model, s *Schedule) (*Timing, error) {
-	n := g.NumOps()
+// Latency evaluates the schedule and returns only the makespan.
+func Latency(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) {
+	var e Evaluator
+	return e.Latency(g, m, s)
+}
 
-	// Index stages.
-	type stageRef struct{ gpu, idx int }
-	var stages []stageRef
-	stageID := make([][]int, len(s.GPUs)) // gpu -> stage idx -> node id
-	opStage := make([]int, n)             // op -> node id, -1 if unscheduled
-	for i := range opStage {
-		opStage[i] = -1
+// LatencyPartial evaluates a partial schedule and returns its makespan.
+func LatencyPartial(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) {
+	var e Evaluator
+	return e.LatencyPartial(g, m, s)
+}
+
+// depEdge is one precedence constraint between stages:
+// start(to) >= finish(from) + lag.
+type depEdge struct {
+	from int
+	lag  float64
+}
+
+// Evaluator computes schedule timings with reusable scratch buffers. The
+// zero value is ready to use. Algorithm 2's sliding window and HIOS-LP's
+// trial mappings evaluate thousands of candidate schedules over the same
+// graph; holding one Evaluator across those calls removes every per-call
+// allocation except the returned Timing (and Latency returns none at all).
+//
+// An Evaluator is NOT safe for concurrent use; give each goroutine its
+// own. Package-level Evaluate/Latency remain the convenient one-shot form.
+type Evaluator struct {
+	seen    []bool
+	opStage []int
+	place   []int
+	indeg   []int
+	ready   []int
+	deps    [][]depEdge
+	succ    [][]int
+	start   []float64
+	finish  []float64
+	dur     []float64
+}
+
+// Latency computes the makespan of a complete schedule, reusing the
+// evaluator's scratch buffers.
+func (e *Evaluator) Latency(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) {
+	if err := e.validate(g, s, false); err != nil {
+		return 0, err
 	}
-	for gi := range s.GPUs {
-		stageID[gi] = make([]int, len(s.GPUs[gi].Stages))
-		for j := range s.GPUs[gi].Stages {
-			id := len(stages)
-			stages = append(stages, stageRef{gpu: gi, idx: j})
-			stageID[gi][j] = id
-			for _, op := range s.GPUs[gi].Stages[j].Ops {
-				opStage[op] = id
+	return e.compute(g, m, s)
+}
+
+// LatencyPartial computes the makespan of a partial schedule, reusing the
+// evaluator's scratch buffers.
+func (e *Evaluator) LatencyPartial(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) {
+	if err := e.validate(g, s, true); err != nil {
+		return 0, err
+	}
+	return e.compute(g, m, s)
+}
+
+// validate checks the structural invariants of s against g using scratch
+// storage; partial permits schedules covering a subset of the operators.
+func (e *Evaluator) validate(g *graph.Graph, s *Schedule, partial bool) error {
+	n := g.NumOps()
+	e.seen = growSlice(e.seen, n)
+	for i := range e.seen {
+		e.seen[i] = false
+	}
+	count := 0
+	for gi, q := range s.GPUs {
+		for j, st := range q.Stages {
+			if len(st.Ops) == 0 {
+				return fmt.Errorf("sched: GPU %d stage %d is empty", gi, j)
+			}
+			for _, op := range st.Ops {
+				if op < 0 || int(op) >= n {
+					return fmt.Errorf("sched: GPU %d stage %d references unknown operator %d", gi, j, op)
+				}
+				if e.seen[op] {
+					return fmt.Errorf("sched: operator %d scheduled more than once", op)
+				}
+				e.seen[op] = true
+				count++
 			}
 		}
 	}
-	ns := len(stages)
+	if !partial && count != n {
+		return fmt.Errorf("sched: %d of %d operators scheduled", count, n)
+	}
+	return nil
+}
 
-	// Build the stage dependency graph. dep[to] = list of (from, lag):
-	// start(to) >= finish(from) + lag.
-	type depEdge struct {
-		from int
-		lag  float64
-	}
-	deps := make([][]depEdge, ns)
-	indeg := make([]int, ns)
-	succ := make([][]int, ns)
-	addDep := func(from, to int, lag float64) {
-		deps[to] = append(deps[to], depEdge{from: from, lag: lag})
-		succ[from] = append(succ[from], to)
-		indeg[to]++
-	}
-	// Sequential order within each GPU.
+// compute runs the longest-path evaluation and returns the makespan. The
+// schedule must already be validated. After compute returns, e.start,
+// e.finish and the stage numbering (sequential over GPUs, then stages)
+// hold the full timeline, which timing() copies out.
+func (e *Evaluator) compute(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) {
+	n := g.NumOps()
+	ns := 0
 	for gi := range s.GPUs {
-		for j := 1; j < len(s.GPUs[gi].Stages); j++ {
-			addDep(stageID[gi][j-1], stageID[gi][j], 0)
+		ns += len(s.GPUs[gi].Stages)
+	}
+
+	// Index stages: ids are assigned GPU-major, stage-minor, so id order
+	// is reproducible from the schedule alone.
+	e.opStage = growSlice(e.opStage, n)
+	e.place = growSlice(e.place, n)
+	for i := 0; i < n; i++ {
+		e.opStage[i] = -1
+		e.place[i] = -1
+	}
+	e.dur = growSlice(e.dur, ns)
+	e.indeg = growSlice(e.indeg, ns)
+	e.deps = growNested(e.deps, ns)
+	e.succ = growNested(e.succ, ns)
+	id := 0
+	for gi := range s.GPUs {
+		for j := range s.GPUs[gi].Stages {
+			ops := s.GPUs[gi].Stages[j].Ops
+			for _, op := range ops {
+				e.opStage[op] = id
+				e.place[op] = gi
+			}
+			e.dur[id] = m.StageTime(ops)
+			e.indeg[id] = 0
+			e.deps[id] = e.deps[id][:0]
+			e.succ[id] = e.succ[id][:0]
+			id++
+		}
+	}
+
+	addDep := func(from, to int, lag float64) {
+		e.deps[to] = append(e.deps[to], depEdge{from: from, lag: lag})
+		e.succ[from] = append(e.succ[from], to)
+		e.indeg[to]++
+	}
+	// Sequential order within each GPU (consecutive stage ids).
+	id = 0
+	for gi := range s.GPUs {
+		for j := range s.GPUs[gi].Stages {
+			if j > 0 {
+				addDep(id-1, id, 0)
+			}
+			id++
 		}
 	}
 	// Data dependencies.
-	place := s.Placement(n)
-	for _, e := range g.Edges() {
-		su, sv := opStage[e.From], opStage[e.To]
+	for _, ed := range g.Edges() {
+		su, sv := e.opStage[ed.From], e.opStage[ed.To]
 		if su < 0 || sv < 0 {
 			continue // endpoint unscheduled: partial evaluation
 		}
 		if su == sv {
-			return nil, fmt.Errorf("sched: operators %d and %d share a stage but have a direct dependency", e.From, e.To)
+			return 0, fmt.Errorf("sched: operators %d and %d share a stage but have a direct dependency", ed.From, ed.To)
 		}
-		lag := cost.CommBetween(m, e.From, e.To, place[e.From], place[e.To])
+		lag := cost.CommBetween(m, ed.From, ed.To, e.place[ed.From], e.place[ed.To])
 		addDep(su, sv, lag)
 	}
 
 	// Longest-path over the stage DAG (Kahn order); a leftover node
 	// means a cycle (deadlock: mutually waiting stages, the "implicit
 	// dependency" loop Algorithm 2 must detect).
-	start := make([]float64, ns)
-	finish := make([]float64, ns)
-	dur := make([]float64, ns)
-	for id, ref := range stages {
-		dur[id] = m.StageTime(s.GPUs[ref.gpu].Stages[ref.idx].Ops)
-	}
-	var ready []int
+	e.start = growSlice(e.start, ns)
+	e.finish = growSlice(e.finish, ns)
+	e.ready = e.ready[:0]
 	for id := 0; id < ns; id++ {
-		if indeg[id] == 0 {
-			ready = append(ready, id)
+		if e.indeg[id] == 0 {
+			e.ready = append(e.ready, id)
 		}
 	}
 	visited := 0
-	for len(ready) > 0 {
-		id := ready[len(ready)-1]
-		ready = ready[:len(ready)-1]
+	latency := 0.0
+	for len(e.ready) > 0 {
+		id := e.ready[len(e.ready)-1]
+		e.ready = e.ready[:len(e.ready)-1]
 		visited++
 		t := 0.0
-		for _, d := range deps[id] {
-			if x := finish[d.from] + d.lag; x > t {
+		for _, d := range e.deps[id] {
+			if x := e.finish[d.from] + d.lag; x > t {
 				t = x
 			}
 		}
-		start[id] = t
-		finish[id] = t + dur[id]
-		for _, w := range succ[id] {
-			indeg[w]--
-			if indeg[w] == 0 {
-				ready = append(ready, w)
+		e.start[id] = t
+		e.finish[id] = t + e.dur[id]
+		if e.finish[id] > latency {
+			latency = e.finish[id]
+		}
+		for _, w := range e.succ[id] {
+			e.indeg[w]--
+			if e.indeg[w] == 0 {
+				e.ready = append(e.ready, w)
 			}
 		}
 	}
 	if visited != ns {
-		return nil, fmt.Errorf("sched: stage graph has a cycle (%d of %d stages schedulable): %w", visited, ns, graph.ErrCycle)
+		return 0, fmt.Errorf("sched: stage graph has a cycle (%d of %d stages schedulable): %w", visited, ns, graph.ErrCycle)
 	}
+	return latency, nil
+}
 
+// timing runs compute and copies the timeline into a fresh Timing.
+func (e *Evaluator) timing(g *graph.Graph, m cost.Model, s *Schedule) (*Timing, error) {
+	lat, err := e.compute(g, m, s)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumOps()
 	tm := &Timing{
+		Latency:     lat,
 		StageStart:  make([][]float64, len(s.GPUs)),
 		StageFinish: make([][]float64, len(s.GPUs)),
 		OpStart:     make([]float64, n),
 		OpFinish:    make([]float64, n),
-		GPUOf:       place,
+		GPUOf:       make([]int, n),
 	}
+	copy(tm.GPUOf, e.place[:n])
+	id := 0
 	for gi := range s.GPUs {
 		tm.StageStart[gi] = make([]float64, len(s.GPUs[gi].Stages))
 		tm.StageFinish[gi] = make([]float64, len(s.GPUs[gi].Stages))
 		for j := range s.GPUs[gi].Stages {
-			id := stageID[gi][j]
-			tm.StageStart[gi][j] = start[id]
-			tm.StageFinish[gi][j] = finish[id]
-			if finish[id] > tm.Latency {
-				tm.Latency = finish[id]
-			}
+			tm.StageStart[gi][j] = e.start[id]
+			tm.StageFinish[gi][j] = e.finish[id]
 			for _, op := range s.GPUs[gi].Stages[j].Ops {
-				tm.OpStart[op] = start[id]
-				tm.OpFinish[op] = finish[id]
+				tm.OpStart[op] = e.start[id]
+				tm.OpFinish[op] = e.finish[id]
 			}
+			id++
 		}
 	}
 	return tm, nil
 }
 
-// Latency evaluates the schedule and returns only the makespan.
-func Latency(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) {
-	tm, err := Evaluate(g, m, s)
-	if err != nil {
-		return 0, err
+// growSlice returns buf resized to n, reusing its backing array when
+// large enough. Contents are unspecified.
+func growSlice[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
 	}
-	return tm.Latency, nil
+	return buf[:n]
 }
 
-// LatencyPartial evaluates a partial schedule and returns its makespan.
-func LatencyPartial(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) {
-	tm, err := EvaluatePartial(g, m, s)
-	if err != nil {
-		return 0, err
+// growNested resizes a slice of slices to n entries, keeping the inner
+// backing arrays of reused entries. New entries start nil.
+func growNested[T any](buf [][]T, n int) [][]T {
+	if cap(buf) < n {
+		next := make([][]T, n)
+		copy(next, buf)
+		return next
 	}
-	return tm.Latency, nil
+	return buf[:n]
 }
 
 // Validate checks the structural invariants of a schedule against its
@@ -205,45 +317,15 @@ func LatencyPartial(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) 
 // empty stages. Dependency violations (intra-stage edges, cyclic stage
 // graphs) are detected by Evaluate.
 func Validate(g *graph.Graph, s *Schedule) error {
-	count, err := validateStages(g, s)
-	if err != nil {
-		return err
-	}
-	if n := g.NumOps(); count != n {
-		return fmt.Errorf("sched: %d of %d operators scheduled", count, n)
-	}
-	return nil
+	var e Evaluator
+	return e.validate(g, s, false)
 }
 
 // ValidatePartial is Validate without the completeness requirement: a
 // schedule may cover any subset of the operators, each at most once.
 func ValidatePartial(g *graph.Graph, s *Schedule) error {
-	_, err := validateStages(g, s)
-	return err
-}
-
-func validateStages(g *graph.Graph, s *Schedule) (int, error) {
-	n := g.NumOps()
-	seen := make([]bool, n)
-	count := 0
-	for gi, q := range s.GPUs {
-		for j, st := range q.Stages {
-			if len(st.Ops) == 0 {
-				return 0, fmt.Errorf("sched: GPU %d stage %d is empty", gi, j)
-			}
-			for _, op := range st.Ops {
-				if op < 0 || int(op) >= n {
-					return 0, fmt.Errorf("sched: GPU %d stage %d references unknown operator %d", gi, j, op)
-				}
-				if seen[op] {
-					return 0, fmt.Errorf("sched: operator %d scheduled more than once", op)
-				}
-				seen[op] = true
-				count++
-			}
-		}
-	}
-	return count, nil
+	var e Evaluator
+	return e.validate(g, s, true)
 }
 
 // Result pairs a schedule with its evaluated latency; every scheduling

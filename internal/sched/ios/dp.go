@@ -68,7 +68,13 @@ func solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, opt Options) (
 	buckets := make([][]*dpState, b+1)
 	buckets[0] = []*dpState{start}
 
+	// probe is the scratch operator list handed to the cost model for
+	// every enumerated candidate. No cost.Model implementation retains
+	// the slice (GraphModel is pure; CostTable keys by value), so one
+	// buffer serves the whole enumeration and a fresh copy is made only
+	// when a candidate actually becomes a DP state's stage.
 	var frontier []int
+	probe := make([]graph.OpID, 0, opt.MaxStage)
 	for c := 0; c < b; c++ {
 		bucket := buckets[c]
 		if beam > 0 && len(bucket) > beam {
@@ -93,21 +99,22 @@ func solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, opt Options) (
 			}
 			enumerateStages(fr, opt.MaxStage, func(stage []int) {
 				nset := st.set
-				ops := make([]graph.OpID, len(stage))
-				for i, li := range stage {
+				probe = probe[:0]
+				for _, li := range stage {
 					nset.set(li)
-					ops[i] = block[li]
+					probe = append(probe, block[li])
 				}
-				t := m.StageTime(ops)
+				t := m.StageTime(probe)
 				ncost := st.cost + t
 				if old, ok := states[nset]; ok {
 					if ncost < old.cost {
 						old.cost = ncost
 						old.prev = st.set
-						old.stage = ops
+						old.stage = append([]graph.OpID(nil), probe...)
 					}
 					return
 				}
+				ops := append([]graph.OpID(nil), probe...)
 				ns := &dpState{set: nset, cost: ncost, prev: st.set, stage: ops, count: c + len(stage)}
 				states[nset] = ns
 				buckets[ns.count] = append(buckets[ns.count], ns)
@@ -173,7 +180,7 @@ func frontierOf(set bitset, preds [][]int, b int, out []int) []int {
 
 // enumerateStages calls fn with every non-empty subset of frontier with at
 // most maxStage members. The subset slice is reused; fn must copy what it
-// keeps (solveBlock copies into ops immediately).
+// keeps (solveBlock translates it into its probe buffer immediately).
 func enumerateStages(frontier []int, maxStage int, fn func(stage []int)) {
 	r := len(frontier)
 	stage := make([]int, 0, maxStage)

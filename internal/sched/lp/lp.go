@@ -57,6 +57,11 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 	prio := g.PriorityIndicators()
 	order := g.ByPriorityWith(prio)
 
+	// One evaluator serves every trial mapping: Algorithm 1 evaluates
+	// M partial schedules per extracted path, and the scratch buffers
+	// carry over between calls.
+	var ev sched.Evaluator
+
 	unscheduled := make([]bool, n)
 	for i := range unscheduled {
 		unscheduled[i] = true
@@ -88,7 +93,7 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 				place[v] = gi
 			}
 			s := sched.FromPlacement(opt.GPUs, order, place)
-			lat, err := sched.LatencyPartial(g, m, s)
+			lat, err := ev.LatencyPartial(g, m, s)
 			if err != nil {
 				return sched.Result{}, fmt.Errorf("lp: trial mapping on GPU %d: %w", gi, err)
 			}
@@ -102,7 +107,7 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 	}
 
 	s := sched.FromPlacement(opt.GPUs, order, place)
-	lat, err := sched.Latency(g, m, s)
+	lat, err := ev.Latency(g, m, s)
 	if err != nil {
 		return sched.Result{}, err
 	}

@@ -57,8 +57,9 @@ func ParallelizeFixpoint(g *graph.Graph, m cost.Model, s *sched.Schedule, w, max
 // schedule and its latency. The input schedule is not modified. w is the
 // maximum window size; values below 2 disable fusion and simply evaluate s.
 func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.Result, error) {
+	var ev sched.Evaluator
 	cur := s.Clone()
-	curLat, err := sched.Latency(g, m, cur)
+	curLat, err := ev.Latency(g, m, cur)
 	if err != nil {
 		return sched.Result{}, err
 	}
@@ -66,10 +67,14 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 		return sched.Result{Schedule: cur, Latency: curLat}, nil
 	}
 
+	// Operator -> (GPU, stage index), computed once and patched on each
+	// committed fusion instead of rebuilt per window position. Only the
+	// fused GPU's indices at or after the fusion point ever change.
+	gpuOf, stageOf := cur.StageOf(g.NumOps())
+
 	order := g.ByPriority()
 	for i := 0; i < len(order)-1; i++ {
 		v := order[i]
-		gpuOf, stageOf := cur.StageOf(g.NumOps())
 		gi, si := gpuOf[v], stageOf[v]
 		if gi < 0 {
 			continue // unscheduled operator (partial schedules in tests)
@@ -105,7 +110,7 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 				break
 			}
 			cand := fuse(cur, gi, si, p)
-			lat, err := sched.Latency(g, m, cand)
+			lat, err := ev.Latency(g, m, cand)
 			if err != nil {
 				// The fusion created a dependency cycle in the
 				// scheduled computation graph (Algorithm 2,
@@ -119,6 +124,14 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 		}
 		if bestSched != nil {
 			cur, curLat = bestSched, bestLat
+			// Re-index only the fused GPU from the fusion point on:
+			// the window collapsed into stage si and later stages
+			// shifted down. Other GPUs are untouched.
+			for k := si; k < len(cur.GPUs[gi].Stages); k++ {
+				for _, op := range cur.GPUs[gi].Stages[k].Ops {
+					stageOf[op] = k
+				}
+			}
 		}
 	}
 	return sched.Result{Schedule: cur, Latency: curLat}, nil
@@ -133,8 +146,9 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 // execution. The return value lets the ablation quantify how often the
 // cross-GPU-blind approach mis-fires and how it compares to Parallelize.
 func ExactPerGPU(g *graph.Graph, m cost.Model, s *sched.Schedule, iosOpt ios.Options) (sched.Result, error) {
+	var ev sched.Evaluator
 	cur := s.Clone()
-	curLat, err := sched.Latency(g, m, cur)
+	curLat, err := ev.Latency(g, m, cur)
 	if err != nil {
 		return sched.Result{}, err
 	}
@@ -155,7 +169,7 @@ func ExactPerGPU(g *graph.Graph, m cost.Model, s *sched.Schedule, iosOpt ios.Opt
 		for _, st := range stages {
 			cand.AppendStage(gi, st)
 		}
-		lat, err := sched.Latency(g, m, cand)
+		lat, err := ev.Latency(g, m, cand)
 		if err != nil {
 			// The per-GPU optimum deadlocks against cross-GPU
 			// dependencies — the failure mode the paper predicts.
@@ -186,24 +200,31 @@ func hasDirectEdge(g *graph.Graph, members []graph.OpID) bool {
 // fuse returns a copy of s in which stages si..si+p on GPU gi are merged
 // into a single stage at position si, preserving the execution order of
 // everything else.
+//
+// The copy is shallow: only the GPU-queue headers and the fused GPU's
+// stage list are fresh; every untouched Stage still shares its Ops slice
+// with s. That is safe because nothing in this package (or the evaluator)
+// mutates a stage's Ops in place — the only write below builds the merged
+// stage's own freshly allocated slice. Parallelize deep-Clones its input
+// once up front, so candidates never alias the caller's schedule.
 func fuse(s *sched.Schedule, gi, si, p int) *sched.Schedule {
-	ns := s.Clone()
-	stages := ns.GPUs[gi].Stages
-	var members []graph.OpID
+	ns := &sched.Schedule{GPUs: make([]sched.GPUSchedule, len(s.GPUs))}
+	copy(ns.GPUs, s.GPUs)
+	stages := s.GPUs[gi].Stages
+	members := make([]graph.OpID, 0, p+1)
 	for k := si; k <= si+p; k++ {
 		members = append(members, stages[k].Ops...)
+	}
+	// Keep members sorted for deterministic output.
+	for a := 1; a < len(members); a++ {
+		for b := a; b > 0 && members[b] < members[b-1]; b-- {
+			members[b], members[b-1] = members[b-1], members[b]
+		}
 	}
 	merged := make([]sched.Stage, 0, len(stages)-p)
 	merged = append(merged, stages[:si]...)
 	merged = append(merged, sched.Stage{Ops: members})
 	merged = append(merged, stages[si+p+1:]...)
 	ns.GPUs[gi].Stages = merged
-	// Keep members sorted for deterministic output.
-	ops := merged[si].Ops
-	for a := 1; a < len(ops); a++ {
-		for b := a; b > 0 && ops[b] < ops[b-1]; b-- {
-			ops[b], ops[b-1] = ops[b-1], ops[b]
-		}
-	}
 	return ns
 }
