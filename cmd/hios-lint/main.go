@@ -1,6 +1,7 @@
-// Command hios-lint runs the repository's determinism analyzer suite
-// (internal/lint: maporder, floatcmp, detclock, pubapi) over Go
-// packages. It works two ways:
+// Command hios-lint runs the repository's analyzer suite (internal/lint;
+// the registry there is the authoritative list — currently maporder,
+// floatcmp, detclock, pubapi, unitflow, sharedcapture) over Go packages.
+// It works two ways:
 //
 // Standalone, on package patterns:
 //
@@ -49,7 +50,11 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: hios-lint [packages]\n       (as a vet tool) go vet -vettool=$(command -v hios-lint) [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Suite() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+			suppress := "not suppressable"
+			if d := lint.Directive(a.Name); d != "" {
+				suppress = "suppress with //lint:" + d
+			}
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s (%s)\n", a.Name, a.Doc, suppress)
 		}
 	}
 	flag.Parse()

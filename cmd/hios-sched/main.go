@@ -70,7 +70,7 @@ func main() {
 	fmt.Printf("model:     %s (%d operators, %d dependencies)\n", name, g.NumOps(), g.NumEdges())
 	fmt.Printf("algorithm: %s on %d GPU(s)\n", *algo, *gpus)
 	fmt.Printf("latency:   %.4f ms (sequential: %.4f ms, speedup %.2fx)\n",
-		res.Latency, g.TotalOpTime(), g.TotalOpTime()/res.Latency)
+		res.Latency, g.TotalOpTime(), g.TotalOpTime()/float64(res.Latency))
 	fmt.Printf("stages:    %d across %d used GPU(s)\n", res.Schedule.NumStages(), res.Schedule.UsedGPUs())
 
 	if mem, err := hios.AnalyzeMemory(g, m, res.Schedule); err == nil && mem.MaxPeak() > 0 {

@@ -19,7 +19,7 @@ import (
 // optimizeOnce rebuilds the model from scratch (so generator determinism
 // is covered too) and runs one scheduling pass, returning the schedule's
 // canonical JSON serialization and its predicted latency.
-func optimizeOnce(t *testing.T, algo hios.Algorithm) ([]byte, float64) {
+func optimizeOnce(t *testing.T, algo hios.Algorithm) ([]byte, hios.Millis) {
 	t.Helper()
 	cfg := hios.RandomModelDefaults()
 	cfg.Ops = 60

@@ -31,7 +31,7 @@ func main() {
 		net := hios.InceptionV3(plat, size)
 		m := hios.DefaultCostModel(net.G)
 		fmt.Printf("%-8d", size)
-		best, bestLat := hios.Algorithm(""), 0.0
+		best, bestLat := hios.Algorithm(""), hios.Millis(0)
 		for _, a := range algos {
 			res, err := hios.Optimize(net.G, m, a, hios.Options{GPUs: plat.GPUs})
 			if err != nil {

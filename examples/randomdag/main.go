@@ -36,7 +36,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-5d %-12.2f %-12.2f %.2fx\n", gpus, lpRes.Latency, mrRes.Latency, seqLat/lpRes.Latency)
+		fmt.Printf("%-5d %-12.2f %-12.2f %.2fx\n", gpus, lpRes.Latency, mrRes.Latency, seqLat/float64(lpRes.Latency))
 	}
 
 	// Execute the 4-GPU HIOS-LP schedule for real and check every

@@ -39,6 +39,27 @@ import (
 	"github.com/shus-lab/hios/internal/sched/window"
 	"github.com/shus-lab/hios/internal/sim"
 	"github.com/shus-lab/hios/internal/trace"
+	"github.com/shus-lab/hios/internal/units"
+)
+
+// Typed physical quantities of the cost core (see internal/units and
+// DESIGN.md "Units and dimensional safety"): distinct defined types over
+// float64, so mixing milliseconds with seconds or bytes with FLOPs is a
+// compile error. They format and marshal exactly like float64.
+type (
+	// Millis is a duration in milliseconds, the native unit of every
+	// latency and cost-model value in the API.
+	Millis = units.Millis
+	// Seconds is a duration in seconds (roofline intermediate).
+	Seconds = units.Seconds
+	// Bytes is a data size in bytes.
+	Bytes = units.Bytes
+	// FLOPs is an amount of floating-point work.
+	FLOPs = units.FLOPs
+	// BytesPerSec is a data rate (memory or link bandwidth).
+	BytesPerSec = units.BytesPerSec
+	// FLOPsPerSec is a compute throughput.
+	FLOPsPerSec = units.FLOPsPerSec
 )
 
 // Core graph and schedule types.
@@ -247,7 +268,7 @@ func Evaluate(g *Graph, m CostModel, s *Schedule) (*Timing, error) {
 }
 
 // Latency returns just the evaluated makespan of a schedule.
-func Latency(g *Graph, m CostModel, s *Schedule) (float64, error) {
+func Latency(g *Graph, m CostModel, s *Schedule) (Millis, error) {
 	return sched.Latency(g, m, s)
 }
 
@@ -268,7 +289,7 @@ func Execute(g *Graph, m CostModel, s *Schedule, opt ExecOptions) (*ExecReport, 
 
 // ExportJSON renders a schedule in the JSON interchange format the
 // paper's engine consumes.
-func ExportJSON(g *Graph, s *Schedule, modelName string, algo Algorithm, latency float64) ([]byte, error) {
+func ExportJSON(g *Graph, s *Schedule, modelName string, algo Algorithm, latency Millis) ([]byte, error) {
 	return trace.MarshalSchedule(g, s, modelName, string(algo), latency)
 }
 

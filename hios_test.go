@@ -20,7 +20,7 @@ func quickGraph(t *testing.T) (*hios.Graph, hios.CostModel) {
 
 func TestOptimizeAllAlgorithms(t *testing.T) {
 	g, m := quickGraph(t)
-	var latencies []float64
+	var latencies []hios.Millis
 	for _, a := range hios.Algorithms() {
 		res, err := hios.Optimize(g, m, a, hios.Options{GPUs: 2})
 		if err != nil {

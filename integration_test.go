@@ -71,9 +71,9 @@ func TestIntegrationInceptionAllAlgorithms(t *testing.T) {
 		if pipe.SteadyPeriodMs > pipe.LatencyMs+1e-9 {
 			t.Fatalf("%s: period %g above latency %g", algo, pipe.SteadyPeriodMs, pipe.LatencyMs)
 		}
-		var maxBusy float64
+		var maxBusy hios.Millis
 		for gi := range res.Schedule.GPUs {
-			var busy float64
+			var busy hios.Millis
 			for _, st := range res.Schedule.GPUs[gi].Stages {
 				busy += m.StageTime(st.Ops)
 			}
@@ -93,7 +93,7 @@ func TestIntegrationInceptionAllAlgorithms(t *testing.T) {
 // HIOS-MR at both.
 func TestIntegrationCrossoverStory(t *testing.T) {
 	plat := hios.DualA40()
-	measure := func(size int, algo hios.Algorithm) float64 {
+	measure := func(size int, algo hios.Algorithm) hios.Millis {
 		net := hios.InceptionV3(plat, size)
 		m := hios.DefaultCostModel(net.G)
 		res, err := hios.Optimize(net.G, m, algo, hios.Options{GPUs: plat.GPUs})

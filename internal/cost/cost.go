@@ -18,28 +18,31 @@
 // hurts once concurrent kernels saturate it.
 package cost
 
-import "github.com/shus-lab/hios/internal/graph"
+import (
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/units"
+)
 
 // Model supplies the three cost quantities of §III-A.
 type Model interface {
 	// OpTime returns t(v).
-	OpTime(v graph.OpID) float64
+	OpTime(v graph.OpID) units.Millis
 	// CommTime returns t(u, v) for the dependency u -> v, assuming the
 	// endpoints run on different GPUs. Implementations return 0 when no
 	// such dependency exists.
-	CommTime(u, v graph.OpID) float64
+	CommTime(u, v graph.OpID) units.Millis
 	// StageTime returns t(S): the makespan of the given independent
 	// operators starting simultaneously on one GPU. For a single
 	// operator it must equal OpTime. StageTime must be symmetric in the
 	// order of its arguments and monotone: adding an operator never
 	// decreases it.
-	StageTime(ops []graph.OpID) float64
+	StageTime(ops []graph.OpID) units.Millis
 }
 
 // Item is one operator's contribution to a concurrent stage.
 type Item struct {
 	// Time is the operator's solo execution time t(v).
-	Time float64
+	Time units.Millis
 	// Util is the fraction of the GPU the operator saturates alone,
 	// in (0, 1].
 	Util float64
@@ -74,19 +77,21 @@ func DefaultContention() Contention {
 }
 
 // StageTimeItems evaluates t(S) for explicit items.
-func (c Contention) StageTimeItems(items []Item) float64 {
+func (c Contention) StageTimeItems(items []Item) units.Millis {
 	if len(items) == 0 {
 		return 0
 	}
-	var maxT, work, util float64
+	var maxT, work units.Millis
+	var util float64
 	for _, it := range items {
 		maxT, work, util = c.accumulate(maxT, work, util, it.Time, it.Util)
 	}
 	return c.combine(maxT, work, util)
 }
 
-// accumulate folds one operator into the stage aggregates.
-func (c Contention) accumulate(maxT, work, util, t, u float64) (float64, float64, float64) {
+// accumulate folds one operator into the stage aggregates. work is the
+// utilization-weighted time Σ t(v)·u(v), still dimensionally time.
+func (c Contention) accumulate(maxT, work units.Millis, util float64, t units.Millis, u float64) (units.Millis, units.Millis, float64) {
 	if u <= 0 {
 		u = c.DefaultUtil
 	}
@@ -96,17 +101,17 @@ func (c Contention) accumulate(maxT, work, util, t, u float64) (float64, float64
 	if t > maxT {
 		maxT = t
 	}
-	return maxT, work + t*u, util + u
+	return maxT, work + t.Scale(u), util + u
 }
 
 // combine turns the stage aggregates into t(S).
-func (c Contention) combine(maxT, work, util float64) float64 {
+func (c Contention) combine(maxT, work units.Millis, util float64) units.Millis {
 	t := maxT
 	if work > t {
 		t = work
 	}
 	if over := util - 1; over > 0 {
-		t *= 1 + c.Alpha*over
+		t = t.Scale(1 + c.Alpha*over)
 	}
 	return t
 }
@@ -128,25 +133,28 @@ func FromGraph(g *graph.Graph, c Contention) *GraphModel {
 	return &GraphModel{g: g, c: c}
 }
 
-// OpTime implements Model.
-func (m *GraphModel) OpTime(v graph.OpID) float64 { return m.g.Time(v) }
+// OpTime implements Model. Graph vertex weights are milliseconds by
+// convention (graph.Op.Time); this is the boundary where they become
+// typed.
+func (m *GraphModel) OpTime(v graph.OpID) units.Millis { return units.Millis(m.g.Time(v)) }
 
 // CommTime implements Model.
-func (m *GraphModel) CommTime(u, v graph.OpID) float64 {
+func (m *GraphModel) CommTime(u, v graph.OpID) units.Millis {
 	t, _ := m.g.TransferTime(u, v)
-	return t
+	return units.Millis(t)
 }
 
 // StageTime implements Model. It runs allocation-free: the IOS dynamic
 // program calls it millions of times.
-func (m *GraphModel) StageTime(ops []graph.OpID) float64 {
+func (m *GraphModel) StageTime(ops []graph.OpID) units.Millis {
 	if len(ops) == 1 {
-		return m.g.Time(ops[0])
+		return units.Millis(m.g.Time(ops[0]))
 	}
-	var maxT, work, util float64
+	var maxT, work units.Millis
+	var util float64
 	for _, id := range ops {
 		op := m.g.Op(id)
-		maxT, work, util = m.c.accumulate(maxT, work, util, op.Time, op.Util)
+		maxT, work, util = m.c.accumulate(maxT, work, util, units.Millis(op.Time), op.Util)
 	}
 	return m.c.combine(maxT, work, util)
 }
@@ -161,14 +169,14 @@ type SerialModel struct{ Inner Model }
 var _ Model = SerialModel{}
 
 // OpTime implements Model.
-func (m SerialModel) OpTime(v graph.OpID) float64 { return m.Inner.OpTime(v) }
+func (m SerialModel) OpTime(v graph.OpID) units.Millis { return m.Inner.OpTime(v) }
 
 // CommTime implements Model.
-func (m SerialModel) CommTime(u, v graph.OpID) float64 { return m.Inner.CommTime(u, v) }
+func (m SerialModel) CommTime(u, v graph.OpID) units.Millis { return m.Inner.CommTime(u, v) }
 
 // StageTime implements Model.
-func (m SerialModel) StageTime(ops []graph.OpID) float64 {
-	var s float64
+func (m SerialModel) StageTime(ops []graph.OpID) units.Millis {
+	var s units.Millis
 	for _, v := range ops {
 		s += m.Inner.OpTime(v)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 func TestContentionSingleOpIsSolo(t *testing.T) {
@@ -31,7 +32,7 @@ func TestContentionLargeOpsContend(t *testing.T) {
 	c := DefaultContention()
 	// Two saturating ops: work-conservation (2) plus penalty alpha*1.
 	got := c.StageTimeItems([]Item{{Time: 1, Util: 1}, {Time: 1, Util: 1}})
-	want := 2 * (1 + c.Alpha)
+	want := units.Millis(2 * (1 + c.Alpha))
 	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
 		t.Fatalf("two large ops = %g, want %g", got, want)
 	}
@@ -69,10 +70,10 @@ func TestContentionMonotoneProperty(t *testing.T) {
 		k := 1 + rng.Intn(6)
 		items := make([]Item, 0, k+1)
 		for i := 0; i < k; i++ {
-			items = append(items, Item{Time: 0.1 + 4*rng.Float64(), Util: 0.05 + 0.95*rng.Float64()})
+			items = append(items, Item{Time: units.Millis(0.1 + 4*rng.Float64()), Util: 0.05 + 0.95*rng.Float64()})
 		}
 		base := c.StageTimeItems(items)
-		maxT, sum := 0.0, 0.0
+		maxT, sum := units.Millis(0), units.Millis(0)
 		for _, it := range items {
 			if it.Time > maxT {
 				maxT = it.Time
@@ -82,10 +83,10 @@ func TestContentionMonotoneProperty(t *testing.T) {
 		if base < maxT-1e-12 {
 			return false
 		}
-		if base > sum*(1+c.Alpha*float64(k))+1e-9 {
+		if base > sum.Scale(1+c.Alpha*float64(k))+1e-9 {
 			return false
 		}
-		grown := c.StageTimeItems(append(items, Item{Time: 0.1 + 4*rng.Float64(), Util: 0.05 + 0.95*rng.Float64()}))
+		grown := c.StageTimeItems(append(items, Item{Time: units.Millis(0.1 + 4*rng.Float64()), Util: 0.05 + 0.95*rng.Float64()}))
 		return grown >= base-1e-12
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

@@ -3,6 +3,7 @@ package cost
 import (
 	"github.com/shus-lab/hios/internal/gpu"
 	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // TopologyModel extends Model with placement-dependent communication:
@@ -20,13 +21,13 @@ type TopologyModel interface {
 	Model
 	// CommTimeBetween returns t(u, v) when u runs on GPU gu and v on
 	// GPU gv. It must return 0 when gu == gv.
-	CommTimeBetween(u, v graph.OpID, gu, gv int) float64
+	CommTimeBetween(u, v graph.OpID, gu, gv int) units.Millis
 }
 
 // CommBetween resolves a dependency's transfer time for a concrete GPU
 // pair against any model: topology-aware models dispatch per pair,
 // plain models charge the flat t(u, v) for any cross-GPU pair.
-func CommBetween(m Model, u, v graph.OpID, gu, gv int) float64 {
+func CommBetween(m Model, u, v graph.OpID, gu, gv int) units.Millis {
 	if gu == gv {
 		return 0
 	}
@@ -52,9 +53,9 @@ func WithTopology(m Model, topo gpu.Topology) TopologyModel {
 	return &topoModel{Model: m, topo: topo}
 }
 
-func (t *topoModel) CommTimeBetween(u, v graph.OpID, gu, gv int) float64 {
+func (t *topoModel) CommTimeBetween(u, v graph.OpID, gu, gv int) units.Millis {
 	if gu == gv {
 		return 0
 	}
-	return t.Model.CommTime(u, v) * t.topo.Factor(gu, gv)
+	return t.Model.CommTime(u, v).Scale(t.topo.Factor(gu, gv))
 }

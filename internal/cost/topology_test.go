@@ -5,6 +5,7 @@ import (
 
 	"github.com/shus-lab/hios/internal/gpu"
 	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 func TestTopologyFactors(t *testing.T) {
@@ -39,7 +40,7 @@ func TestWithTopologyScalesComm(t *testing.T) {
 		t.Fatalf("same-GPU comm = %g", got)
 	}
 	// Two GPUs = two one-GPU nodes: the only cross pair is inter-node.
-	if got, want := tm.CommTimeBetween(0, 1, 0, 1), 0.5*5.0; got != want {
+	if got, want := tm.CommTimeBetween(0, 1, 0, 1), units.Millis(0.5*5.0); got != want {
 		t.Fatalf("inter-node comm = %g, want %g", got, want)
 	}
 	// The base interface still reports the baseline.
@@ -74,7 +75,7 @@ func TestUniformTopologyIsTransparent(t *testing.T) {
 	tm := WithTopology(base, gpu.Uniform(4))
 	for gu := 0; gu < 4; gu++ {
 		for gv := 0; gv < 4; gv++ {
-			want := 0.0
+			want := units.Millis(0)
 			if gu != gv {
 				want = base.CommTime(0, 1)
 			}

@@ -12,6 +12,7 @@ import (
 	"github.com/shus-lab/hios/internal/sched/window"
 	"github.com/shus-lab/hios/internal/sim"
 	"github.com/shus-lab/hios/internal/stats"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // This file holds the ablation studies DESIGN.md calls out: sweeps over
@@ -60,7 +61,7 @@ func AblationWindow(opt SimOptions) (Figure, error) {
 			if err != nil {
 				return nil, fmt.Errorf("ablation window w=%g seed=%d: %w", w, seed, err)
 			}
-			lats[i] = res.Latency
+			lats[i] = float64(res.Latency)
 		}
 		return lats, nil
 	})
@@ -108,7 +109,7 @@ func AblationIOSPruning(opt SimOptions) (Figure, error) {
 			if err != nil {
 				return nil, fmt.Errorf("ablation ios r=%g seed=%d: %w", r, seed, err)
 			}
-			lats[i] = res.Latency
+			lats[i] = float64(res.Latency)
 		}
 		return lats, nil
 	})
@@ -154,7 +155,7 @@ func AblationLinkContention(b Benchmark, size int) (Figure, error) {
 			if err != nil {
 				return Figure{}, err
 			}
-			s.Points = append(s.Points, Point{X: float64(i), Mean: tr.Latency})
+			s.Points = append(s.Points, Point{X: float64(i), Mean: float64(tr.Latency)})
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -207,7 +208,7 @@ func NCCLOverlap(b Benchmark, size int) (Figure, error) {
 func ncclLink() gpu.Link {
 	l := gpu.NVLinkBridge()
 	l.Name = "NVLink bridge (NCCL-style)"
-	l.LatencyMs = 0.002
+	l.Latency = units.Millis(0.002)
 	return l
 }
 
@@ -250,7 +251,7 @@ func AblationIntraGPU(opt SimOptions) (Figure, error) {
 		if err != nil {
 			return [3]float64{}, err
 		}
-		return [3]float64{inter.Latency, alg2.Latency, perGPU.Latency}, nil
+		return [3]float64{float64(inter.Latency), float64(alg2.Latency), float64(perGPU.Latency)}, nil
 	})
 	if err != nil {
 		return Figure{}, err

@@ -29,7 +29,7 @@ func benchAlgo(b *testing.B, algo string, gpus int) {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			b.ReportMetric(res.Latency, "latency-ms")
+			b.ReportMetric(float64(res.Latency), "latency-ms")
 		}
 	}
 }

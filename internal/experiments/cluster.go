@@ -60,12 +60,12 @@ func ClusterStudy(opt SimOptions) (Figure, error) {
 			if err != nil {
 				return row{}, err
 			}
-			r.aware[i] = awareRes.Latency
+			r.aware[i] = float64(awareRes.Latency)
 			blindLat, err := sched.Latency(g, topo, blindRes.Schedule)
 			if err != nil {
 				return row{}, err
 			}
-			r.blind[i] = blindLat
+			r.blind[i] = float64(blindLat)
 		}
 		return r, nil
 	})

@@ -10,6 +10,7 @@ import (
 	"github.com/shus-lab/hios/internal/profile"
 	"github.com/shus-lab/hios/internal/sim"
 	"github.com/shus-lab/hios/internal/stats"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // Fig1Sizes are the probed input image sizes of Figs. 1 and 2.
@@ -21,8 +22,8 @@ var Fig1Sizes = []float64{8, 16, 32, 64, 128, 256, 512, 1024}
 func paperConvKernel(size int) gpu.Kernel {
 	out := float64(48 * size * size)
 	return gpu.Kernel{
-		FLOPs:   2 * 5 * 5 * 48 * out,
-		Bytes:   4 * (48*float64(size*size) + 5*5*48*48 + out),
+		FLOPs:   units.FLOPs(2 * 5 * 5 * 48 * out),
+		Bytes:   units.Bytes(4 * (48*float64(size*size) + 5*5*48*48 + out)),
 		Threads: out,
 	}
 }
@@ -48,7 +49,7 @@ func Fig1() Figure {
 		u := dev.Utilization(k)
 		seqT := 2 * t
 		parT := c.StageTimeItems([]cost.Item{{Time: t, Util: u}, {Time: t, Util: u}})
-		s.Points = append(s.Points, Point{X: size, Mean: seqT / parT})
+		s.Points = append(s.Points, Point{X: size, Mean: seqT.Ratio(parT)})
 	}
 	fig.Series = []Series{s}
 	return fig
@@ -68,10 +69,10 @@ func Fig2() Figure {
 		s := Series{Label: p.Name}
 		for _, size := range Fig1Sizes {
 			k := paperConvKernel(int(size))
-			inputBytes := 4 * 48 * size * size
+			inputBytes := units.Bytes(4 * 48 * size * size)
 			s.Points = append(s.Points, Point{
 				X:    size,
-				Mean: p.Link.TransferTime(inputBytes) / p.Dev.Time(k),
+				Mean: p.Link.TransferTime(inputBytes).Ratio(p.Dev.Time(k)),
 			})
 		}
 		fig.Series = append(fig.Series, s)
@@ -174,7 +175,7 @@ func measure(algo string, net *model.Net, m cost.Model, gpus int) (float64, erro
 	if err != nil {
 		return 0, err
 	}
-	return tr.Latency, nil
+	return float64(tr.Latency), nil
 }
 
 // Fig13 reproduces Fig. 13: the latency breakdown of all six algorithms
@@ -257,7 +258,7 @@ func MeasureSchedulingCost(algo string, b Benchmark, size int) (SchedulingCost, 
 	st := tab.Stats()
 	return SchedulingCost{
 		AlgorithmMs: float64(elapsed.Nanoseconds()) / 1e6,
-		ProfilingMs: st.SimulatedMs,
+		ProfilingMs: float64(st.SimulatedMs),
 		Probes:      st.Probes(),
 	}, nil
 }

@@ -77,7 +77,7 @@ func sweep(id, title, xlabel string, xs []float64,
 			if err != nil {
 				return nil, fmt.Errorf("%s: %s x=%g seed=%d: %w", id, a, x, seed, err)
 			}
-			lats[ai] = res.Latency
+			lats[ai] = float64(res.Latency)
 		}
 		return lats, nil
 	})

@@ -68,7 +68,7 @@ func OptimalityGap(seeds, ops int) (Figure, error) {
 		if err != nil {
 			return [2]float64{}, err
 		}
-		return [2]float64{lpRes.Latency / opt.Latency, mrRes.Latency / opt.Latency}, nil
+		return [2]float64{lpRes.Latency.Ratio(opt.Latency), mrRes.Latency.Ratio(opt.Latency)}, nil
 	})
 	if err != nil {
 		return Figure{}, err

@@ -19,7 +19,11 @@
 // model is built so the *shapes* the scheduling study depends on hold.
 package gpu
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/shus-lab/hios/internal/units"
+)
 
 // Device describes one GPU model.
 type Device struct {
@@ -29,15 +33,15 @@ type Device struct {
 	SMs int
 	// CUDACores is the total core count (informational).
 	CUDACores int
-	// PeakGFLOPS is the theoretical fp32 throughput in GFLOP/s.
-	PeakGFLOPS float64
-	// MemBWGBs is the device memory bandwidth in GB/s.
-	MemBWGBs float64
+	// PeakFLOPs is the theoretical fp32 throughput.
+	PeakFLOPs units.FLOPsPerSec
+	// MemBW is the device memory bandwidth.
+	MemBW units.BytesPerSec
 	// Efficiency is the fraction of peak throughput dense cuDNN kernels
 	// achieve at full occupancy.
 	Efficiency float64
-	// LaunchOverheadMs is the fixed CUDA kernel-launch cost in ms.
-	LaunchOverheadMs float64
+	// LaunchOverhead is the fixed CUDA kernel-launch cost.
+	LaunchOverhead units.Millis
 	// SaturationThreads is the number of concurrent output elements at
 	// which a kernel occupies the whole device. Kernels with fewer
 	// threads leave SMs idle (utilization < 1) and run at reduced
@@ -58,10 +62,10 @@ func A40() Device {
 		Name:              "A40",
 		SMs:               84,
 		CUDACores:         10752,
-		PeakGFLOPS:        37400,
-		MemBWGBs:          696,
+		PeakFLOPs:         units.GFLOPsPerSec(37400),
+		MemBW:             units.GBPerSec(696),
 		Efficiency:        0.35,
-		LaunchOverheadMs:  0.005,
+		LaunchOverhead:    units.Millis(0.005),
 		SaturationThreads: 480000,
 		MinUtil:           1.0 / 84,
 	}
@@ -74,10 +78,10 @@ func A5500() Device {
 		Name:              "A5500",
 		SMs:               80,
 		CUDACores:         10240,
-		PeakGFLOPS:        34100,
-		MemBWGBs:          768,
+		PeakFLOPs:         units.GFLOPsPerSec(34100),
+		MemBW:             units.GBPerSec(768),
 		Efficiency:        0.35,
-		LaunchOverheadMs:  0.005,
+		LaunchOverhead:    units.Millis(0.005),
 		SaturationThreads: 460000,
 		MinUtil:           1.0 / 80,
 	}
@@ -90,10 +94,10 @@ func V100S() Device {
 		Name:              "V100S",
 		SMs:               80,
 		CUDACores:         5120,
-		PeakGFLOPS:        16400,
-		MemBWGBs:          1134,
+		PeakFLOPs:         units.GFLOPsPerSec(16400),
+		MemBW:             units.GBPerSec(1134),
 		Efficiency:        0.35,
-		LaunchOverheadMs:  0.006,
+		LaunchOverhead:    units.Millis(0.006),
 		SaturationThreads: 400000,
 		MinUtil:           1.0 / 80,
 	}
@@ -102,9 +106,9 @@ func V100S() Device {
 // Kernel characterizes one GPU kernel launch.
 type Kernel struct {
 	// FLOPs is the floating-point work of the kernel.
-	FLOPs float64
+	FLOPs units.FLOPs
 	// Bytes is the device-memory traffic (reads + writes).
-	Bytes float64
+	Bytes units.Bytes
 	// Threads is the number of independent output elements, which
 	// drives occupancy.
 	Threads float64
@@ -127,36 +131,38 @@ func (d Device) Utilization(k Kernel) float64 {
 	return u
 }
 
-// Time estimates the kernel's solo execution latency in milliseconds:
-// launch overhead plus the roofline maximum of the compute time (derated
-// by occupancy — an under-occupied device sustains proportionally less
-// throughput) and the memory-traffic time.
-func (d Device) Time(k Kernel) float64 {
+// Time estimates the kernel's solo execution latency: launch overhead
+// plus the roofline maximum of the compute time (derated by occupancy —
+// an under-occupied device sustains proportionally less throughput) and
+// the memory-traffic time. The roofline divisions are dimensionally
+// seconds; the result converts to the native milliseconds at the end of
+// each branch, exactly as the raw formulas did.
+func (d Device) Time(k Kernel) units.Millis {
 	util := d.Utilization(k)
-	compute := 0.0
+	compute := units.Millis(0)
 	if k.FLOPs > 0 {
-		compute = k.FLOPs / (d.PeakGFLOPS * 1e9 * d.Efficiency * util) * 1e3
+		compute = k.FLOPs.Over(d.PeakFLOPs.Scale(d.Efficiency).Scale(util)).Millis()
 	}
-	memory := 0.0
+	memory := units.Millis(0)
 	if k.Bytes > 0 {
-		memory = k.Bytes / (d.MemBWGBs * 1e9) * 1e3
+		memory = k.Bytes.Over(d.MemBW).Millis()
 	}
 	t := compute
 	if memory > t {
 		t = memory
 	}
-	return d.LaunchOverheadMs + t
+	return d.LaunchOverhead + t
 }
 
 // Link models one inter-GPU interconnect.
 type Link struct {
 	// Name identifies the link kind.
 	Name string
-	// BandwidthGBs is the per-direction bandwidth in GB/s.
-	BandwidthGBs float64
-	// LatencyMs is the per-message latency in ms (software stack +
-	// wire), the floor of any transfer.
-	LatencyMs float64
+	// Bandwidth is the per-direction bandwidth.
+	Bandwidth units.BytesPerSec
+	// Latency is the per-message latency (software stack + wire), the
+	// floor of any transfer.
+	Latency units.Millis
 }
 
 // NVLinkBridge returns the paper's A40/A5500 pairing: one NVLink bridge
@@ -166,28 +172,28 @@ type Link struct {
 // kernel after transfer completion (§VI-E discusses exactly this
 // overhead) — not just the wire.
 func NVLinkBridge() Link {
-	return Link{Name: "NVLink bridge", BandwidthGBs: 56.25, LatencyMs: 0.02}
+	return Link{Name: "NVLink bridge", Bandwidth: units.GBPerSec(56.25), Latency: units.Millis(0.02)}
 }
 
 // NVSwitch returns a full NVSwitch fabric (DGX-class): 300 GB/s per
 // direction per GPU, same MPI software latency as the bridge.
 func NVSwitch() Link {
-	return Link{Name: "NVSwitch", BandwidthGBs: 300, LatencyMs: 0.02}
+	return Link{Name: "NVSwitch", Bandwidth: units.GBPerSec(300), Latency: units.Millis(0.02)}
 }
 
 // PCIe3 returns a PCIe Gen3 x16 interface: ~12 GB/s effective after
 // protocol overhead, with a higher software latency than NVLink.
 func PCIe3() Link {
-	return Link{Name: "PCIe Gen3 x16", BandwidthGBs: 12, LatencyMs: 0.055}
+	return Link{Name: "PCIe Gen3 x16", Bandwidth: units.GBPerSec(12), Latency: units.Millis(0.055)}
 }
 
-// TransferTime returns the time in ms to move the given number of bytes
-// across the link.
-func (l Link) TransferTime(bytes float64) float64 {
-	if bytes <= 0 {
+// TransferTime returns the time to move the given amount of data across
+// the link.
+func (l Link) TransferTime(b units.Bytes) units.Millis {
+	if b <= 0 {
 		return 0
 	}
-	return l.LatencyMs + bytes/(l.BandwidthGBs*1e9)*1e3
+	return l.Latency + b.Over(l.Bandwidth).Millis()
 }
 
 // Platform pairs a device model with an interconnect and a GPU count: one

@@ -3,6 +3,8 @@ package gpu
 import (
 	"testing"
 	"testing/quick"
+
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // paperConv characterizes the paper's Fig. 1/2 probe kernel: a 5x5
@@ -11,8 +13,8 @@ import (
 func paperConv(size int) Kernel {
 	out := float64(48 * size * size)
 	return Kernel{
-		FLOPs:   2 * 5 * 5 * 48 * out,
-		Bytes:   4 * (48*float64(size*size) + 5*5*48*48 + out),
+		FLOPs:   units.FLOPs(2 * 5 * 5 * 48 * out),
+		Bytes:   units.Bytes(4 * (48*float64(size*size) + 5*5*48*48 + out)),
 		Threads: out,
 	}
 }
@@ -55,7 +57,7 @@ func TestFig1CrossoverCalibration(t *testing.T) {
 
 func TestKernelTimeGrowsWithWork(t *testing.T) {
 	d := A40()
-	prev := 0.0
+	prev := units.Millis(0)
 	for _, size := range []int{8, 32, 128, 512} {
 		tt := d.Time(paperConv(size))
 		if tt <= prev {
@@ -67,18 +69,18 @@ func TestKernelTimeGrowsWithWork(t *testing.T) {
 
 func TestKernelTimeHasLaunchFloor(t *testing.T) {
 	d := A40()
-	if tt := d.Time(Kernel{}); tt != d.LaunchOverheadMs {
-		t.Fatalf("empty kernel time = %g, want launch overhead %g", tt, d.LaunchOverheadMs)
+	if tt := d.Time(Kernel{}); tt != d.LaunchOverhead {
+		t.Fatalf("empty kernel time = %g, want launch overhead %g", tt, d.LaunchOverhead)
 	}
 }
 
 func TestDevicePresetsSane(t *testing.T) {
 	for _, d := range []Device{A40(), A5500(), V100S()} {
-		if d.SMs <= 0 || d.PeakGFLOPS <= 0 || d.MemBWGBs <= 0 || d.Efficiency <= 0 || d.Efficiency > 1 {
+		if d.SMs <= 0 || d.PeakFLOPs <= 0 || d.MemBW <= 0 || d.Efficiency <= 0 || d.Efficiency > 1 {
 			t.Fatalf("device %s has nonsense parameters: %+v", d.Name, d)
 		}
 	}
-	if A40().PeakGFLOPS <= V100S().PeakGFLOPS {
+	if A40().PeakFLOPs <= V100S().PeakFLOPs {
 		t.Fatal("A40 should out-compute V100S in fp32")
 	}
 }
@@ -90,7 +92,7 @@ func TestTransferTime(t *testing.T) {
 	}
 	// 56.25 GB/s: 56.25e6 bytes per ms.
 	got := l.TransferTime(56.25e6)
-	want := l.LatencyMs + 1.0
+	want := l.Latency + 1.0
 	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("transfer = %g, want %g", got, want)
 	}
@@ -101,9 +103,9 @@ func TestFig2PlatformOrdering(t *testing.T) {
 	// NVLink platforms at every probed size.
 	for _, size := range []int{64, 128, 256, 512, 1024} {
 		k := paperConv(size)
-		inputBytes := 4 * 48 * float64(size*size)
+		inputBytes := units.Bytes(4 * 48 * float64(size*size))
 		ratio := func(p Platform) float64 {
-			return p.Link.TransferTime(inputBytes) / p.Dev.Time(k)
+			return p.Link.TransferTime(inputBytes).Ratio(p.Dev.Time(k))
 		}
 		a40 := ratio(DualA40())
 		a5500 := ratio(DualA5500())
@@ -119,7 +121,7 @@ func TestClusterPlatform(t *testing.T) {
 	if p.GPUs != 8 || p.Dev.Name != "A40" {
 		t.Fatalf("Cluster = %+v", p)
 	}
-	if p.Link.BandwidthGBs <= NVLinkBridge().BandwidthGBs {
+	if p.Link.Bandwidth <= NVLinkBridge().Bandwidth {
 		t.Fatal("NVSwitch should be faster than one NVLink bridge")
 	}
 }
@@ -134,12 +136,12 @@ func TestTimeProperty(t *testing.T) {
 			}
 			return x
 		}
-		k := Kernel{FLOPs: abs(flops), Bytes: abs(bytes), Threads: abs(threads)}
+		k := Kernel{FLOPs: units.FLOPs(abs(flops)), Bytes: units.Bytes(abs(bytes)), Threads: abs(threads)}
 		t1 := d.Time(k)
 		k2 := k
 		k2.FLOPs *= 2
 		t2 := d.Time(k2)
-		return t1 >= d.LaunchOverheadMs && t2 >= t1
+		return t1 >= d.LaunchOverhead && t2 >= t1
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)

@@ -1,11 +1,15 @@
-// Package lint is the hios-lint analyzer suite: four static checks that
-// enforce the determinism contract of the HIOS reproduction (DESIGN.md
-// "Invariants and static analysis"). The schedulers promise that the
-// same graph, cost model and options always produce the same schedule;
-// the checks reject the Go constructs that silently break that promise —
-// unordered map iteration in scheduling loops, exact floating-point
-// latency comparison, wall-clock and global-RNG leakage into the
-// deterministic core — plus imports that bypass the public hios facade.
+// Package lint is the hios-lint analyzer suite: static checks that
+// enforce the determinism and dimensional contracts of the HIOS
+// reproduction (DESIGN.md "Invariants and static analysis", "Units and
+// dimensional safety"). The schedulers promise that the same graph, cost
+// model and options always produce the same schedule; the checks reject
+// the Go constructs that silently break that promise — unordered map
+// iteration in scheduling loops, exact floating-point latency
+// comparison, wall-clock and global-RNG leakage into the deterministic
+// core, unsynchronized writes from parallel worker closures, imports
+// that bypass the public hios facade — and the constructs that break the
+// units discipline of the cost model: raw literals adopting a unit
+// implicitly and arithmetic that mixes or invents dimensions.
 //
 // Findings can be suppressed line by line with `//lint:<directive>`
 // comments (on the flagged line or the line above); each analyzer
@@ -21,9 +25,45 @@ import (
 // ModulePath is the import-path root of this repository.
 const ModulePath = "github.com/shus-lab/hios"
 
+// registryEntry describes one analyzer of the suite: the analyzer itself
+// plus the suite-level metadata that tools print (the suppression
+// directive, empty when the analyzer deliberately offers none).
+type registryEntry struct {
+	Analyzer  *analysis.Analyzer
+	Directive string // //lint:<directive>, "" if unsuppressable
+}
+
+// registry is the single source of truth for the analyzer suite, in
+// reporting order. cmd/hios-lint's usage text, the CI lint job and the
+// suite tests all enumerate from here; adding an analyzer means adding
+// one row.
+var registry = []registryEntry{
+	{MapOrder, "ordered"},
+	{FloatCmp, "floatexact"},
+	{DetClock, ""}, // wall-clock in the core is never legitimate
+	{PubAPI, ""},   // facade bypasses are never legitimate either
+	{UnitFlow, "unitless"},
+	{SharedCapture, "sharedcapture"},
+}
+
 // Suite returns every analyzer, in reporting order.
 func Suite() []*analysis.Analyzer {
-	return []*analysis.Analyzer{MapOrder, FloatCmp, DetClock, PubAPI}
+	out := make([]*analysis.Analyzer, len(registry))
+	for i, e := range registry {
+		out[i] = e.Analyzer
+	}
+	return out
+}
+
+// Directive returns the suppression directive of the named analyzer
+// ("" when the analyzer has none or is unknown).
+func Directive(name string) string {
+	for _, e := range registry {
+		if e.Analyzer.Name == name {
+			return e.Directive
+		}
+	}
+	return ""
 }
 
 // inScope reports whether pkg (an import path) is the module package

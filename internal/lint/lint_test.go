@@ -29,6 +29,16 @@ func TestPubAPI(t *testing.T) {
 	linttest.Run(t, lint.PubAPI, "testdata/pubapi", lint.ModulePath+"/cmd/fixture")
 }
 
+func TestUnitFlow(t *testing.T) {
+	linttest.Run(t, lint.UnitFlow, "testdata/unitflow", lint.ModulePath+"/internal/cost/fixture")
+}
+
+// sharedcapture is unscoped — a parallel worker racing on captured state
+// is wrong in any package — so its fixture loads under an arbitrary path.
+func TestSharedCapture(t *testing.T) {
+	linttest.Run(t, lint.SharedCapture, "testdata/sharedcapture", lint.ModulePath+"/internal/experiments/fixture")
+}
+
 // The analyzers are scoped by package path; the same fixture code loaded
 // under an out-of-scope import path must yield zero diagnostics.
 func TestScopeBoundaries(t *testing.T) {
@@ -42,6 +52,7 @@ func TestScopeBoundaries(t *testing.T) {
 		{"floatcmp", lint.FloatCmp, "testdata/floatcmp", lint.ModulePath + "/internal/stats"},
 		{"detclock", lint.DetClock, "testdata/detclock", lint.ModulePath + "/internal/runtime"},
 		{"pubapi", lint.PubAPI, "testdata/pubapi", lint.ModulePath + "/internal/experiments"},
+		{"unitflow", lint.UnitFlow, "testdata/unitflow", lint.ModulePath + "/internal/stats"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -61,9 +72,30 @@ func TestSuiteListsAllAnalyzers(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"maporder", "floatcmp", "detclock", "pubapi"} {
+	for _, want := range []string{"maporder", "floatcmp", "detclock", "pubapi", "unitflow", "sharedcapture"} {
 		if !names[want] {
 			t.Fatalf("suite is missing %s (have %v)", want, names)
 		}
+	}
+}
+
+// The registry's directive column is what the usage text prints; keep it
+// consistent with what each analyzer actually honors.
+func TestDirectives(t *testing.T) {
+	cases := map[string]string{
+		"maporder":      "ordered",
+		"floatcmp":      "floatexact",
+		"detclock":      "",
+		"pubapi":        "",
+		"unitflow":      "unitless",
+		"sharedcapture": "sharedcapture",
+	}
+	for name, want := range cases {
+		if got := lint.Directive(name); got != want {
+			t.Errorf("Directive(%q) = %q, want %q", name, got, want)
+		}
+	}
+	if got := lint.Directive("nosuch"); got != "" {
+		t.Errorf("Directive(nosuch) = %q, want empty", got)
 	}
 }

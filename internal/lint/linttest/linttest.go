@@ -8,8 +8,12 @@
 //
 // Fixture imports of standard-library packages are resolved through the
 // go toolchain's export data. Imports under this module's path are
-// replaced by empty placeholder packages: fixtures exercising the pubapi
-// analyzer only need the import path to exist syntactically.
+// replaced by empty placeholder packages — with two exceptions: the
+// internal/units and internal/parallel packages are type-checked from
+// their real source, because the unitflow and sharedcapture analyzers'
+// semantics depend on the actual defined types and worker signatures,
+// and fixtures must see them. Other module-internal fixtures (pubapi)
+// only need the import path to exist syntactically.
 package linttest
 
 import (
@@ -183,6 +187,9 @@ type fixtureImporter struct {
 }
 
 func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if strings.HasSuffix(path, "/internal/units") || strings.HasSuffix(path, "/internal/parallel") {
+		return realPackage(path)
+	}
 	if f := stdExport(path); f != "" {
 		imp := importer.ForCompiler(fi.fset, "gc", func(p string) (io.ReadCloser, error) {
 			ef := stdExport(p)
@@ -200,6 +207,77 @@ func (fi fixtureImporter) Import(path string) (*types.Package, error) {
 	pkg := types.NewPackage(path, name)
 	pkg.MarkComplete()
 	return pkg, nil
+}
+
+var (
+	realMu   sync.Mutex
+	realPkgs = map[string]*types.Package{}
+)
+
+// realPackage type-checks a module-internal package from its real source
+// so fixtures can use its genuine types (the unitflow analyzer keys on
+// the defined types of internal/units; sharedcapture keys on the worker
+// signatures of internal/parallel). The directory is the path's suffix
+// below the module root, found by walking up from the working directory
+// (the test's package directory) to go.mod. Each package is checked into
+// its own FileSet — fixture tests never report positions inside it — and
+// cached for the test process.
+func realPackage(path string) (*types.Package, error) {
+	realMu.Lock()
+	defer realMu.Unlock()
+	if pkg, ok := realPkgs[path]; ok {
+		return pkg, nil
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	i := strings.Index(path, "/internal/")
+	if i < 0 {
+		return nil, fmt.Errorf("linttest: %q is not a module-internal path", path)
+	}
+	dir := filepath.Join(root, filepath.FromSlash(path[i+1:]))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pfset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(pfset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: fixtureImporter{pfset}}
+	pkg, err := conf.Check(path, pfset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	realPkgs[path] = pkg
+	return pkg, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("linttest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
 }
 
 var (

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/shus-lab/hios/internal/lint/analysis"
+)
+
+// SharedCapture flags worker closures handed to parallel.Map or
+// parallel.ForEach that write captured variables without
+// synchronization. The workers run concurrently across a goroutine pool,
+// so an unsynchronized write to shared state is a data race that `go
+// test -race` only catches when the schedule happens to interleave; this
+// check catches it structurally.
+//
+// Two write patterns are recognized as safe and not flagged:
+//
+//   - indexing a captured slice or map with the worker's own index
+//     parameter (out[i] = ... — each worker owns a disjoint element, the
+//     idiom parallel.Map itself is built on);
+//   - writes in a closure that locks a captured sync.Mutex or RWMutex
+//     (the closure calls .Lock on it somewhere).
+//
+// Anything else — a captured counter, a captured scalar best-so-far, an
+// append to a captured slice — is reported. A deliberate exception
+// (e.g. a write protected by external phasing) can be suppressed with
+// `//lint:sharedcapture`.
+var SharedCapture = &analysis.Analyzer{
+	Name: "sharedcapture",
+	Doc:  "flags parallel.Map/ForEach worker closures writing captured variables without synchronization",
+	Run:  runSharedCapture,
+}
+
+const parallelPkgPath = ModulePath + "/internal/parallel"
+
+func runSharedCapture(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fl := parallelWorker(pass, call)
+			if fl == nil {
+				return true
+			}
+			checkWorker(pass, fl)
+			return true
+		})
+	}
+	return nil
+}
+
+// parallelWorker returns the worker FuncLit when call is
+// parallel.Map(...) or parallel.ForEach(...) with a literal closure as
+// its final argument, nil otherwise.
+func parallelWorker(pass *analysis.Pass, call *ast.CallExpr) *ast.FuncLit {
+	fun := call.Fun
+	// Explicit instantiation parallel.Map[T](...) wraps the selector in
+	// an index expression.
+	if ix, ok := fun.(*ast.IndexExpr); ok {
+		fun = ix.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pkgName, ok := pass.Info.ObjectOf(id).(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != parallelPkgPath {
+		return nil
+	}
+	if sel.Sel.Name != "Map" && sel.Sel.Name != "ForEach" {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	fl, _ := call.Args[len(call.Args)-1].(*ast.FuncLit)
+	return fl
+}
+
+// checkWorker reports unsynchronized writes to captured variables inside
+// one worker closure.
+func checkWorker(pass *analysis.Pass, fl *ast.FuncLit) {
+	locals := map[types.Object]bool{}
+	for _, field := range fl.Type.Params.List {
+		for _, name := range field.Names {
+			locals[pass.Info.ObjectOf(name)] = true
+		}
+	}
+	var indexParam types.Object
+	if len(fl.Type.Params.List) > 0 && len(fl.Type.Params.List[0].Names) > 0 {
+		indexParam = pass.Info.ObjectOf(fl.Type.Params.List[0].Names[0])
+	}
+
+	// First pass: collect declarations local to the closure and whether
+	// a captured mutex is locked anywhere inside it.
+	locked := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						locals[pass.Info.ObjectOf(id)] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						locals[pass.Info.ObjectOf(id)] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				locals[pass.Info.ObjectOf(name)] = true
+			}
+		case *ast.FuncLit:
+			// Parameters of nested closures are local too.
+			for _, field := range n.Type.Params.List {
+				for _, name := range field.Names {
+					locals[pass.Info.ObjectOf(name)] = true
+				}
+			}
+		case *ast.CallExpr:
+			if isMutexLock(pass, n) {
+				locked = true
+			}
+		}
+		return true
+	})
+	if locked {
+		// A closure that takes a captured lock is assumed to know what
+		// it is doing; races inside are the race detector's job.
+		return
+	}
+
+	report := func(pos ast.Node, name string) {
+		if pass.IsTestFile(pos.Pos()) || pass.Suppressed("sharedcapture", pos.Pos()) {
+			return
+		}
+		pass.Reportf(pos.Pos(), "worker closure writes captured variable %q without synchronization; workers run concurrently — write to a per-index slot or return the value", name)
+	}
+
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				checkWriteTarget(pass, lhs, locals, indexParam, report)
+			}
+		case *ast.IncDecStmt:
+			checkWriteTarget(pass, n.X, locals, indexParam, report)
+		}
+		return true
+	})
+}
+
+// checkWriteTarget reports lhs when it writes a captured variable in a
+// way workers cannot safely share.
+func checkWriteTarget(pass *analysis.Pass, lhs ast.Expr, locals map[types.Object]bool, indexParam types.Object, report func(ast.Node, string)) {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		obj := pass.Info.ObjectOf(x)
+		if obj == nil || locals[obj] {
+			return
+		}
+		if _, ok := obj.(*types.Var); !ok {
+			return
+		}
+		report(x, x.Name)
+	case *ast.IndexExpr:
+		// out[i] = ... with i the worker's index parameter is the
+		// disjoint-slot idiom and safe for slices; everything else
+		// (other indices, map writes) is shared.
+		base, ok := x.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.Info.ObjectOf(base)
+		if obj == nil || locals[obj] {
+			return
+		}
+		if idx, ok := x.Index.(*ast.Ident); ok && indexParam != nil && pass.Info.ObjectOf(idx) == indexParam {
+			if _, isMap := pass.Info.TypeOf(x.X).Underlying().(*types.Map); !isMap {
+				return
+			}
+		}
+		report(x, base.Name)
+	case *ast.StarExpr:
+		// *p = ... through a captured pointer: shared unless p is local
+		// (and even then the pointee may be shared, but a local pointer
+		// to a local value is the common safe case).
+		if id, ok := x.X.(*ast.Ident); ok {
+			obj := pass.Info.ObjectOf(id)
+			if obj == nil || locals[obj] {
+				return
+			}
+			report(x, id.Name)
+		}
+	}
+}
+
+// isMutexLock reports whether call is m.Lock()/m.RLock() on a
+// sync.Mutex or sync.RWMutex.
+func isMutexLock(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" && (n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}

@@ -1,0 +1,110 @@
+// Package fixture exercises the sharedcapture analyzer: writes to
+// captured variables from parallel worker closures.
+package fixture
+
+import (
+	"sync"
+
+	"github.com/shus-lab/hios/internal/parallel"
+)
+
+func counterRace() int {
+	total := 0
+	_ = parallel.ForEach(10, 4, func(i int) error {
+		total += i // want `worker closure writes captured variable "total"`
+		return nil
+	})
+	return total
+}
+
+func bestRace(cands []float64) float64 {
+	best := 0.0
+	_ = parallel.ForEach(len(cands), 4, func(i int) error {
+		if cands[i] > best {
+			best = cands[i] // want `worker closure writes captured variable "best"`
+		}
+		return nil
+	})
+	return best
+}
+
+func appendRace() []int {
+	var all []int
+	_ = parallel.ForEach(10, 4, func(i int) error {
+		all = append(all, i) // want `worker closure writes captured variable "all"`
+		return nil
+	})
+	return all
+}
+
+func mapRace() map[int]bool {
+	seen := make(map[int]bool)
+	_ = parallel.ForEach(10, 4, func(i int) error {
+		seen[i] = true // want `worker closure writes captured variable "seen"`
+		return nil
+	})
+	return seen
+}
+
+func pointerRace(sum *float64) {
+	_ = parallel.ForEach(10, 4, func(i int) error {
+		*sum = *sum + float64(i) // want `worker closure writes captured variable "sum"`
+		return nil
+	})
+}
+
+func disjointSlots() []int {
+	out := make([]int, 10)
+	_ = parallel.ForEach(10, 4, func(i int) error {
+		out[i] = i * i // each worker owns element i: clean
+		return nil
+	})
+	return out
+}
+
+func mutexProtected() int {
+	var mu sync.Mutex
+	total := 0
+	_ = parallel.ForEach(10, 4, func(i int) error {
+		mu.Lock()
+		total += i // lock held: clean
+		mu.Unlock()
+		return nil
+	})
+	return total
+}
+
+func workerLocals() error {
+	return parallel.ForEach(10, 4, func(i int) error {
+		acc := 0
+		for j := 0; j < i; j++ {
+			acc += j // closure-local state: clean
+		}
+		_ = acc
+		return nil
+	})
+}
+
+func mapCollect() ([]int, error) {
+	// parallel.Map's own result slice is the safe pattern.
+	return parallel.Map(10, 4, func(i int) (int, error) {
+		return i * i, nil
+	})
+}
+
+func explicitInstantiation() ([]float64, error) {
+	sink := 0.0
+	return parallel.Map[float64](4, 2, func(i int) (float64, error) {
+		sink = float64(i) // want `worker closure writes captured variable "sink"`
+		return sink, nil
+	})
+}
+
+func deliberate() int {
+	done := 0
+	_ = parallel.ForEach(1, 1, func(i int) error {
+		done = 1 //lint:sharedcapture width 1 runs workers sequentially here
+		return nil
+	})
+	return done
+}

@@ -1,0 +1,117 @@
+// Package fixture exercises the unitflow analyzer: raw literals adopting
+// units implicitly (rule 1), float64-laundered values changing kind
+// (rule 2), and arithmetic that invents undefined dimensions (rule 3).
+package fixture
+
+import "github.com/shus-lab/hios/internal/units"
+
+// --- rule 1: raw literals at call boundaries ---
+
+func chargeFor(t units.Millis) units.Millis { return t }
+
+func callSites() {
+	chargeFor(3.5)               // want `raw numeric literal for Millis parameter`
+	chargeFor(-7)                // want `raw numeric literal for Millis parameter`
+	chargeFor(0)                 // zero carries no unit ambiguity: clean
+	chargeFor(units.Millis(3.5)) // explicit conversion: clean
+	t := units.Millis(1.5)
+	chargeFor(2 * t) // scaling an existing unit value: clean
+}
+
+// --- rule 1: raw literals in composite literals ---
+
+type stage struct {
+	Lat  units.Millis
+	Name string
+}
+
+func composites() []stage {
+	bad := stage{Lat: 5.25}             // want `raw numeric literal for Millis field`
+	good := stage{Lat: units.Millis(5)} // explicit: clean
+	zero := stage{Lat: 0}               // zero: clean
+	durs := []units.Millis{
+		1.5, // want `raw numeric literal for Millis element`
+		0,   // zero: clean
+		units.Millis(2.5),
+	}
+	_ = durs
+	return []stage{bad, good, zero}
+}
+
+// --- rule 1: raw literals at assignments, declarations and returns ---
+
+func assignments() units.Millis {
+	var t units.Millis = 7 // want `raw numeric literal declared as Millis`
+	t = 9                  // want `raw numeric literal assigned to Millis`
+	t = 0                  // zero: clean
+	t = units.Millis(9)    // explicit: clean
+	_ = t
+	return 4 // want `raw numeric literal returned as Millis`
+}
+
+// --- rule 1: raw literals in unit arithmetic and comparisons ---
+
+func epsilons(lat, best units.Millis) bool {
+	if lat >= best-1e-12 { // want `raw numeric literal in Millis arithmetic`
+		return true
+	}
+	if lat >= best-units.Millis(1e-12) { // explicit epsilon: clean
+		return true
+	}
+	return lat > 0 // zero compare: clean
+}
+
+// --- rule 2: float64 laundering across kinds ---
+
+func relabel(t units.Millis) units.Seconds {
+	x := float64(t)
+	return units.Seconds(x) // want `re-labeling a float64-laundered Millis as Seconds`
+}
+
+func relabelSameKind(t units.Millis) units.Millis {
+	x := float64(t)
+	return units.Millis(x) // same kind round-trip: clean
+}
+
+func mixedArithmetic(t units.Millis, b units.Bytes) float64 {
+	x := float64(t)
+	y := float64(b)
+	return x + y // want `mixing float64-laundered Millis with Bytes`
+}
+
+func launderedCompare(t units.Millis, b units.Bytes) bool {
+	x := float64(t)
+	y := float64(b)
+	return x < y // want `mixing float64-laundered Millis with Bytes`
+}
+
+func taintDropsThroughScaling(t units.Millis) units.Seconds {
+	// Dividing by a rate leaves the unit system legitimately; the taint
+	// must not survive multiplication or division.
+	x := float64(t) / 1000.0
+	return units.Seconds(x) // dimension changed by arithmetic: clean
+}
+
+func sameKindArithmetic(a, b units.Millis) float64 {
+	x := float64(a)
+	y := float64(b)
+	return x + y // same kind both sides: clean
+}
+
+// --- rule 3: products and quotients of unit values ---
+
+func products(a, b units.Millis, n units.Bytes) {
+	_ = a * b // want `Millis × Millis has no defined unit`
+	_ = a / b // want `Millis / Millis is not a Millis`
+	_ = 2 * a // constant scale factor: clean
+	_ = a / 2 // constant divisor: clean
+	_ = a.Ratio(b)
+	_ = n.Scale(0.5)
+}
+
+// --- suppression ---
+
+func deliberate(t units.Millis) units.Millis {
+	chargeFor(12.5) //lint:unitless fixture exercises the escape hatch
+	return t
+}

@@ -20,14 +20,15 @@ import (
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/sched"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // Report is the memory analysis of one schedule.
 type Report struct {
 	// PeakBytes is the peak resident tensor footprint per GPU.
 	PeakBytes []int64
-	// PeakAt is the time (ms) at which each GPU reaches its peak.
-	PeakAt []float64
+	// PeakAt is the time at which each GPU reaches its peak.
+	PeakAt []units.Millis
 	// ResidentOps counts tensors contributing to each GPU's peak.
 	ResidentOps []int
 }
@@ -50,7 +51,7 @@ func (r *Report) Fits(capacityBytes int64) bool {
 
 // event is a +bytes/-bytes step on one GPU's resident set.
 type event struct {
-	at    float64
+	at    units.Millis
 	delta int64
 	dops  int
 }
@@ -80,7 +81,7 @@ func Analyze(g *graph.Graph, m cost.Model, s *sched.Schedule) (*Report, error) {
 	place := s.Placement(n)
 
 	evs := make([][]event, gpus)
-	push := func(gpu int, at float64, delta int64, dops int) {
+	push := func(gpu int, at units.Millis, delta int64, dops int) {
 		evs[gpu] = append(evs[gpu], event{at: at, delta: delta, dops: dops})
 	}
 
@@ -96,8 +97,8 @@ func Analyze(g *graph.Graph, m cost.Model, s *sched.Schedule) (*Report, error) {
 		// Last use on the producer GPU, and arrival/last-use per
 		// remote GPU.
 		localDeath := produced
-		remoteDeath := map[int]float64{}
-		remoteBirth := map[int]float64{}
+		remoteDeath := map[int]units.Millis{}
+		remoteBirth := map[int]units.Millis{}
 		hasConsumer := false
 		g.Succs(graph.OpID(v), func(u graph.OpID, _ float64) {
 			hasConsumer = true
@@ -134,7 +135,7 @@ func Analyze(g *graph.Graph, m cost.Model, s *sched.Schedule) (*Report, error) {
 
 	rep := &Report{
 		PeakBytes:   make([]int64, gpus),
-		PeakAt:      make([]float64, gpus),
+		PeakAt:      make([]units.Millis, gpus),
 		ResidentOps: make([]int, gpus),
 	}
 	for gi := range evs {

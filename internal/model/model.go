@@ -14,6 +14,7 @@ import (
 
 	"github.com/shus-lab/hios/internal/gpu"
 	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // Tensor is the shape of one operator output (batch size 1), stored CHW.
@@ -70,13 +71,13 @@ func (b *Builder) addOp(name, kind string, out Tensor, k gpu.Kernel, srcs ...gra
 	id := b.g.AddOp(graph.Op{
 		Name:  name,
 		Kind:  kind,
-		Time:  b.dev.Time(k),
+		Time:  float64(b.dev.Time(k)),
 		Util:  b.dev.Utilization(k),
 		Bytes: out.Bytes(),
 	})
 	b.shapes = append(b.shapes, out)
 	for _, s := range srcs {
-		b.g.AddEdge(s, id, b.link.TransferTime(float64(b.shapes[s].Bytes())))
+		b.g.AddEdge(s, id, float64(b.link.TransferTime(units.Bytes(b.shapes[s].Bytes()))))
 	}
 	return id
 }
@@ -101,8 +102,8 @@ func (b *Builder) Conv(src graph.OpID, outC, kH, kW, sH, sW, pH, pW int, name st
 	flops := 2 * float64(kH*kW*in.C) * float64(out.Elems())
 	weights := 4 * float64(kH*kW*in.C*outC)
 	k := gpu.Kernel{
-		FLOPs:   flops,
-		Bytes:   float64(in.Bytes()) + weights + float64(out.Bytes()),
+		FLOPs:   units.FLOPs(flops),
+		Bytes:   units.Bytes(float64(in.Bytes()) + weights + float64(out.Bytes())),
 		Threads: float64(out.Elems()),
 	}
 	return b.addOp(name, "conv", out, k, src)
@@ -121,8 +122,8 @@ func (b *Builder) SepConv(src graph.OpID, outC, k, s, p int, name string) graph.
 	dwOut := Tensor{C: in.C, H: convDim(in.H, k, s, p), W: convDim(in.W, k, s, p)}
 	dwFlops := 2 * float64(k*k) * float64(dwOut.Elems())
 	dw := b.addOp(name+".dw", "conv-dw", dwOut, gpu.Kernel{
-		FLOPs:   dwFlops,
-		Bytes:   float64(in.Bytes()) + 4*float64(k*k*in.C) + float64(dwOut.Bytes()),
+		FLOPs:   units.FLOPs(dwFlops),
+		Bytes:   units.Bytes(float64(in.Bytes()) + 4*float64(k*k*in.C) + float64(dwOut.Bytes())),
 		Threads: float64(dwOut.Elems()),
 	}, src)
 	return b.Conv1x1(dw, outC, name+".pw")
@@ -142,8 +143,8 @@ func (b *Builder) pool(src graph.OpID, k, s, p int, kind, name string) graph.OpI
 	in := b.shapes[src]
 	out := Tensor{C: in.C, H: convDim(in.H, k, s, p), W: convDim(in.W, k, s, p)}
 	kern := gpu.Kernel{
-		FLOPs:   float64(k*k) * float64(out.Elems()),
-		Bytes:   float64(in.Bytes()) + float64(out.Bytes()),
+		FLOPs:   units.FLOPs(float64(k*k) * float64(out.Elems())),
+		Bytes:   units.Bytes(float64(in.Bytes()) + float64(out.Bytes())),
 		Threads: float64(out.Elems()),
 	}
 	return b.addOp(name, kind, out, kern, src)
@@ -154,8 +155,8 @@ func (b *Builder) GlobalAvgPool(src graph.OpID, name string) graph.OpID {
 	in := b.shapes[src]
 	out := Tensor{C: in.C, H: 1, W: 1}
 	k := gpu.Kernel{
-		FLOPs:   float64(in.Elems()),
-		Bytes:   float64(in.Bytes()) + float64(out.Bytes()),
+		FLOPs:   units.FLOPs(in.Elems()),
+		Bytes:   units.Bytes(float64(in.Bytes()) + float64(out.Bytes())),
 		Threads: float64(in.C),
 	}
 	return b.addOp(name, "globalpool", out, k, src)
@@ -179,7 +180,7 @@ func (b *Builder) Concat(name string, srcs ...graph.OpID) graph.OpID {
 		bytes += float64(sh.Bytes())
 	}
 	k := gpu.Kernel{
-		Bytes:   2 * bytes, // read every input, write the output
+		Bytes:   units.Bytes(2 * bytes), // read every input, write the output
 		Threads: float64(out.Elems()),
 	}
 	return b.addOp(name, "concat", out, k, srcs...)
@@ -192,8 +193,8 @@ func (b *Builder) Add(x, y graph.OpID, name string) graph.OpID {
 		panic(fmt.Sprintf("model: Add %q shape mismatch: %v vs %v", name, sx, sy))
 	}
 	k := gpu.Kernel{
-		FLOPs:   float64(sx.Elems()),
-		Bytes:   3 * float64(sx.Bytes()),
+		FLOPs:   units.FLOPs(sx.Elems()),
+		Bytes:   units.Bytes(3 * float64(sx.Bytes())),
 		Threads: float64(sx.Elems()),
 	}
 	return b.addOp(name, "add", sx, k, x, y)
@@ -205,8 +206,8 @@ func (b *Builder) Linear(src graph.OpID, outFeatures int, name string) graph.OpI
 	inF := in.Elems()
 	out := Tensor{C: outFeatures, H: 1, W: 1}
 	k := gpu.Kernel{
-		FLOPs:   2 * float64(inF) * float64(outFeatures),
-		Bytes:   float64(in.Bytes()) + 4*float64(inF)*float64(outFeatures) + float64(out.Bytes()),
+		FLOPs:   units.FLOPs(2 * float64(inF) * float64(outFeatures)),
+		Bytes:   units.Bytes(float64(in.Bytes()) + 4*float64(inF)*float64(outFeatures) + float64(out.Bytes())),
 		Threads: float64(outFeatures),
 	}
 	return b.addOp(name, "linear", out, k, src)
@@ -246,10 +247,15 @@ func convDim(in, k, s, p int) int {
 // TotalFLOPs is a diagnostic: approximate total floating-point work of the
 // network, reconstructed from operator times and the device model. Used by
 // examples to report model scale.
-func (n *Net) TotalFLOPs(dev gpu.Device) float64 {
+func (n *Net) TotalFLOPs(dev gpu.Device) units.FLOPs {
 	var t float64
 	for _, op := range n.G.Ops() {
 		t += op.Time
 	}
-	return t / 1e3 * dev.PeakGFLOPS * 1e9 * dev.Efficiency
+	// Reconstruct the datasheet GFLOP/s figure and keep the exact
+	// operation order of the pre-units formula (t/1e3 · GFLOPS · 1e9 ·
+	// efficiency): the division by 1e9 is exact for datasheet magnitudes,
+	// so the result is bit-identical.
+	gflops := float64(dev.PeakFLOPs) / 1e9
+	return units.FLOPs(t / 1e3 * gflops * 1e9 * dev.Efficiency)
 }

@@ -20,19 +20,20 @@ import (
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/sched"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // Report summarizes the sustained behaviour of a schedule.
 type Report struct {
 	// Requests is K, the number of unrolled inferences.
 	Requests int
-	// Completions holds each request's completion time (ms).
-	Completions []float64
+	// Completions holds each request's completion time.
+	Completions []units.Millis
 	// LatencyMs is the single-request latency (completion of request 0).
-	LatencyMs float64
+	LatencyMs units.Millis
 	// SteadyPeriodMs is the time between the last two completions: the
 	// steady-state inter-completion period.
-	SteadyPeriodMs float64
+	SteadyPeriodMs units.Millis
 	// ThroughputPerSec is 1000 / SteadyPeriodMs.
 	ThroughputPerSec float64
 }
@@ -54,9 +55,9 @@ func Analyze(g *graph.Graph, m cost.Model, s *sched.Schedule, k int) (*Report, e
 		return nil, fmt.Errorf("pipeline: unrolled schedule: %w", err)
 	}
 	n := g.NumOps()
-	rep := &Report{Requests: k, Completions: make([]float64, k)}
+	rep := &Report{Requests: k, Completions: make([]units.Millis, k)}
 	for r := 0; r < k; r++ {
-		var done float64
+		var done units.Millis
 		for v := r * n; v < (r+1)*n; v++ {
 			if tm.OpFinish[v] > done {
 				done = tm.OpFinish[v]
@@ -67,7 +68,7 @@ func Analyze(g *graph.Graph, m cost.Model, s *sched.Schedule, k int) (*Report, e
 	rep.LatencyMs = rep.Completions[0]
 	rep.SteadyPeriodMs = rep.Completions[k-1] - rep.Completions[k-2]
 	if rep.SteadyPeriodMs > 0 {
-		rep.ThroughputPerSec = 1000 / rep.SteadyPeriodMs
+		rep.ThroughputPerSec = 1000 / float64(rep.SteadyPeriodMs)
 	}
 	return rep, nil
 }
@@ -122,19 +123,19 @@ var (
 
 func (m *shiftModel) orig(v graph.OpID) graph.OpID { return graph.OpID(int(v) % m.n) }
 
-func (m *shiftModel) OpTime(v graph.OpID) float64 { return m.inner.OpTime(m.orig(v)) }
+func (m *shiftModel) OpTime(v graph.OpID) units.Millis { return m.inner.OpTime(m.orig(v)) }
 
-func (m *shiftModel) CommTime(u, v graph.OpID) float64 {
+func (m *shiftModel) CommTime(u, v graph.OpID) units.Millis {
 	return m.inner.CommTime(m.orig(u), m.orig(v))
 }
 
 // CommTimeBetween forwards placement-dependent transfer times: for plain
 // inner models this degenerates to the flat pair cost.
-func (m *shiftModel) CommTimeBetween(u, v graph.OpID, gu, gv int) float64 {
+func (m *shiftModel) CommTimeBetween(u, v graph.OpID, gu, gv int) units.Millis {
 	return cost.CommBetween(m.inner, m.orig(u), m.orig(v), gu, gv)
 }
 
-func (m *shiftModel) StageTime(ops []graph.OpID) float64 {
+func (m *shiftModel) StageTime(ops []graph.OpID) units.Millis {
 	mapped := make([]graph.OpID, len(ops))
 	for i, v := range ops {
 		mapped[i] = m.orig(v)

@@ -9,6 +9,7 @@ import (
 	"github.com/shus-lab/hios/internal/sched"
 	"github.com/shus-lab/hios/internal/sched/lp"
 	"github.com/shus-lab/hios/internal/sched/seq"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 func twoGPUChain(t *testing.T) (*graph.Graph, cost.Model, *sched.Schedule) {
@@ -67,10 +68,10 @@ func TestSingleGPUPeriodIsTotalWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if diff := rep.SteadyPeriodMs - g.TotalOpTime(); diff > 1e-9 || diff < -1e-9 {
+	if diff := rep.SteadyPeriodMs - units.Millis(g.TotalOpTime()); diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("sequential period %g != total work %g", rep.SteadyPeriodMs, g.TotalOpTime())
 	}
-	if diff := rep.LatencyMs - g.TotalOpTime(); diff > 1e-9 || diff < -1e-9 {
+	if diff := rep.LatencyMs - units.Millis(g.TotalOpTime()); diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("sequential latency %g != total work %g", rep.LatencyMs, g.TotalOpTime())
 	}
 }
@@ -102,9 +103,9 @@ func TestMultiGPUThroughputBeatsSingle(t *testing.T) {
 			lpRep.ThroughputPerSec, seqRep.ThroughputPerSec)
 	}
 	// The steady period can never beat the bottleneck GPU's busy time.
-	var maxBusy float64
+	var maxBusy units.Millis
 	for gi := range lpRes.Schedule.GPUs {
-		var busy float64
+		var busy units.Millis
 		for _, st := range lpRes.Schedule.GPUs[gi].Stages {
 			busy += m.StageTime(st.Ops)
 		}

@@ -8,6 +8,7 @@ import (
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/randdag"
 	"github.com/shus-lab/hios/internal/sched"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // TestPipelineInvariantsProperty checks, over random graphs and random
@@ -53,9 +54,9 @@ func propertyForTest() func(seed int64) bool {
 		if rep.SteadyPeriodMs > rep.LatencyMs+1e-9 || rep.SteadyPeriodMs <= 0 {
 			return false
 		}
-		var maxBusy float64
+		var maxBusy units.Millis
 		for gi := range s.GPUs {
-			var busy float64
+			var busy units.Millis
 			for _, st := range s.GPUs[gi].Stages {
 				busy += m.StageTime(st.Ops)
 			}
@@ -63,8 +64,8 @@ func propertyForTest() func(seed int64) bool {
 				maxBusy = busy
 			}
 		}
-		meanGap := (rep.Completions[rep.Requests-1] - rep.Completions[0]) / float64(rep.Requests-1)
-		if meanGap < maxBusy-rep.LatencyMs/float64(rep.Requests-1)-1e-9 {
+		meanGap := (rep.Completions[rep.Requests-1] - rep.Completions[0]).Div(float64(rep.Requests - 1))
+		if meanGap < maxBusy-rep.LatencyMs.Div(float64(rep.Requests-1))-1e-9 {
 			return false
 		}
 		for r := 1; r < rep.Requests; r++ {

@@ -6,6 +6,7 @@ import (
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/randdag"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // BenchmarkStageSig measures the cost of building the memoization key for
@@ -50,7 +51,7 @@ func BenchmarkStageTimeHit(b *testing.B) {
 	tab.StageTime(ops) // memoize
 	b.ReportAllocs()
 	b.ResetTimer()
-	var sink float64
+	var sink units.Millis
 	for i := 0; i < b.N; i++ {
 		sink = tab.StageTime(ops)
 	}

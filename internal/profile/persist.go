@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // The paper's scheduler profiles a model once and reuses the measurements
@@ -20,8 +21,8 @@ type Snapshot struct {
 	// Warmup and Repeats record the measurement discipline.
 	Warmup  int `json:"warmup"`
 	Repeats int `json:"repeats"`
-	// Ops maps operator ID -> t(v).
-	Ops map[graph.OpID]float64 `json:"ops"`
+	// Ops maps operator ID -> t(v) in milliseconds.
+	Ops map[graph.OpID]units.Millis `json:"ops"`
 	// Comms lists measured transfers.
 	Comms []CommEntry `json:"comms"`
 	// Stages lists measured concurrent groups.
@@ -30,15 +31,15 @@ type Snapshot struct {
 
 // CommEntry is one measured transfer t(u, v).
 type CommEntry struct {
-	From graph.OpID `json:"from"`
-	To   graph.OpID `json:"to"`
-	Ms   float64    `json:"ms"`
+	From graph.OpID   `json:"from"`
+	To   graph.OpID   `json:"to"`
+	Ms   units.Millis `json:"ms"`
 }
 
 // StageEntry is one measured concurrent group t(S).
 type StageEntry struct {
 	Ops []graph.OpID `json:"ops"`
-	Ms  float64      `json:"ms"`
+	Ms  units.Millis `json:"ms"`
 }
 
 // Export serializes every measurement the table has performed so far.
@@ -49,7 +50,7 @@ func (t *CostTable) Export(model string) ([]byte, error) {
 		Model:   model,
 		Warmup:  t.warmup,
 		Repeats: t.repeats,
-		Ops:     make(map[graph.OpID]float64, len(t.ops)),
+		Ops:     make(map[graph.OpID]units.Millis, len(t.ops)),
 	}
 	for k, v := range t.ops {
 		snap.Ops[k] = v
@@ -89,11 +90,11 @@ func Import(data []byte) (*FrozenModel, error) {
 	fm := &FrozenModel{
 		Model:  snap.Model,
 		ops:    snap.Ops,
-		comms:  make(map[[2]graph.OpID]float64, len(snap.Comms)),
-		stages: make(map[stageSig]float64, len(snap.Stages)),
+		comms:  make(map[[2]graph.OpID]units.Millis, len(snap.Comms)),
+		stages: make(map[stageSig]units.Millis, len(snap.Stages)),
 	}
 	if fm.ops == nil {
-		fm.ops = map[graph.OpID]float64{}
+		fm.ops = map[graph.OpID]units.Millis{}
 	}
 	for _, c := range snap.Comms {
 		fm.comms[[2]graph.OpID{c.From, c.To}] = c.Ms
@@ -110,14 +111,14 @@ func Import(data []byte) (*FrozenModel, error) {
 // every miss is counted so callers can detect an incomplete profile.
 type FrozenModel struct {
 	Model  string
-	ops    map[graph.OpID]float64
-	comms  map[[2]graph.OpID]float64
-	stages map[stageSig]float64
+	ops    map[graph.OpID]units.Millis
+	comms  map[[2]graph.OpID]units.Millis
+	stages map[stageSig]units.Millis
 	misses int
 }
 
 // OpTime implements cost.Model.
-func (f *FrozenModel) OpTime(v graph.OpID) float64 {
+func (f *FrozenModel) OpTime(v graph.OpID) units.Millis {
 	if t, ok := f.ops[v]; ok {
 		return t
 	}
@@ -126,7 +127,7 @@ func (f *FrozenModel) OpTime(v graph.OpID) float64 {
 }
 
 // CommTime implements cost.Model.
-func (f *FrozenModel) CommTime(u, v graph.OpID) float64 {
+func (f *FrozenModel) CommTime(u, v graph.OpID) units.Millis {
 	if t, ok := f.comms[[2]graph.OpID{u, v}]; ok {
 		return t
 	}
@@ -137,7 +138,7 @@ func (f *FrozenModel) CommTime(u, v graph.OpID) float64 {
 // StageTime implements cost.Model. An unmeasured group is priced as the
 // sum of its members' solo times — the safe upper bound that never makes
 // an unprofiled fusion look attractive.
-func (f *FrozenModel) StageTime(ops []graph.OpID) float64 {
+func (f *FrozenModel) StageTime(ops []graph.OpID) units.Millis {
 	if len(ops) == 1 {
 		return f.OpTime(ops[0])
 	}
@@ -145,7 +146,7 @@ func (f *FrozenModel) StageTime(ops []graph.OpID) float64 {
 		return t
 	}
 	f.misses++
-	var sum float64
+	var sum units.Millis
 	for _, v := range ops {
 		sum += f.OpTime(v)
 	}

@@ -18,6 +18,7 @@ import (
 
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // Defaults for measurement repetition, matching the paper's methodology of
@@ -48,10 +49,10 @@ type CostTable struct {
 	repeats int
 
 	mu     sync.RWMutex
-	ops    map[graph.OpID]float64
-	stages map[stageSig]float64
-	comms  map[[2]graph.OpID]float64
-	simMs  float64
+	ops    map[graph.OpID]units.Millis
+	stages map[stageSig]units.Millis
+	comms  map[[2]graph.OpID]units.Millis
+	simMs  units.Millis
 }
 
 var _ cost.Model = (*CostTable)(nil)
@@ -69,14 +70,14 @@ func NewTable(m cost.Model, warmup, repeats int) *CostTable {
 		inner:   m,
 		warmup:  warmup,
 		repeats: repeats,
-		ops:     make(map[graph.OpID]float64),
-		stages:  make(map[stageSig]float64),
-		comms:   make(map[[2]graph.OpID]float64),
+		ops:     make(map[graph.OpID]units.Millis),
+		stages:  make(map[stageSig]units.Millis),
+		comms:   make(map[[2]graph.OpID]units.Millis),
 	}
 }
 
 // OpTime implements cost.Model.
-func (t *CostTable) OpTime(v graph.OpID) float64 {
+func (t *CostTable) OpTime(v graph.OpID) units.Millis {
 	t.mu.RLock()
 	x, ok := t.ops[v]
 	t.mu.RUnlock()
@@ -90,12 +91,12 @@ func (t *CostTable) OpTime(v graph.OpID) float64 {
 		return old // another prober measured it first
 	}
 	t.ops[v] = x
-	t.simMs += float64(t.warmup+t.repeats) * x
+	t.simMs += x.Scale(float64(t.warmup + t.repeats))
 	return x
 }
 
 // CommTime implements cost.Model.
-func (t *CostTable) CommTime(u, v graph.OpID) float64 {
+func (t *CostTable) CommTime(u, v graph.OpID) units.Millis {
 	key := [2]graph.OpID{u, v}
 	t.mu.RLock()
 	x, ok := t.comms[key]
@@ -110,13 +111,13 @@ func (t *CostTable) CommTime(u, v graph.OpID) float64 {
 		return old
 	}
 	t.comms[key] = x
-	t.simMs += float64(t.warmup+t.repeats) * x
+	t.simMs += x.Scale(float64(t.warmup + t.repeats))
 	return x
 }
 
 // StageTime implements cost.Model. Probes are keyed by the sorted member
 // set, as a profiler measures each distinct concurrent group once.
-func (t *CostTable) StageTime(ops []graph.OpID) float64 {
+func (t *CostTable) StageTime(ops []graph.OpID) units.Millis {
 	if len(ops) == 1 {
 		return t.OpTime(ops[0])
 	}
@@ -134,7 +135,7 @@ func (t *CostTable) StageTime(ops []graph.OpID) float64 {
 		return old
 	}
 	t.stages[key] = x
-	t.simMs += float64(t.warmup+t.repeats) * x
+	t.simMs += x.Scale(float64(t.warmup + t.repeats))
 	return x
 }
 
@@ -144,7 +145,7 @@ type Stats struct {
 	OpProbes, StageProbes, CommProbes int
 	// SimulatedMs is the wall time those measurements would have cost:
 	// (warmup + repeats) executions each.
-	SimulatedMs float64
+	SimulatedMs units.Millis
 }
 
 // Probes returns the total number of distinct measurements.

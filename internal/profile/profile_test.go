@@ -8,6 +8,7 @@ import (
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/randdag"
 	"github.com/shus-lab/hios/internal/sched/lp"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 func build(t *testing.T) (*graph.Graph, cost.Model) {
@@ -83,7 +84,7 @@ func TestDefaultsApplied(t *testing.T) {
 	tab := NewTable(m, 0, 0)
 	tab.OpTime(0)
 	st := tab.Stats()
-	want := float64(DefaultWarmup+DefaultRepeats) * 2
+	want := units.Millis(DefaultWarmup+DefaultRepeats) * 2
 	if diff := st.SimulatedMs - want; diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("simulated cost = %g, want %g", st.SimulatedMs, want)
 	}

@@ -24,6 +24,7 @@ import (
 	"github.com/shus-lab/hios/internal/mpi"
 	"github.com/shus-lab/hios/internal/sched"
 	"github.com/shus-lab/hios/internal/sim"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // Options calibrates modeled time to wall-clock effort.
@@ -84,8 +85,8 @@ func (r *Report) SimTrace() *sim.Trace {
 			GPU:    sp.GPU,
 			Index:  idx,
 			Ops:    sp.Ops,
-			Start:  float64(sp.Start.Nanoseconds()) / 1e6,
-			Finish: float64(sp.End.Nanoseconds()) / 1e6,
+			Start:  units.Millis(float64(sp.Start.Nanoseconds()) / 1e6),
+			Finish: units.Millis(float64(sp.End.Nanoseconds()) / 1e6),
 		}
 		tr.Stages = append(tr.Stages, rec)
 		if rec.Finish > tr.Latency {
@@ -217,7 +218,9 @@ func runWorker(g *graph.Graph, m cost.Model, s *sched.Schedule, gi int, comm *mp
 				// Charge the modeled transfer time. CommTime needs a
 				// consumer; all consumers of one edge see the same
 				// producer tensor, so take any consumer on dst.
-				delay := time.Duration(maxCommTo(g, m, gpuOf, op, dst) * float64(opt.CommDelay))
+				// Wall-clock calibration boundary: modeled ms ×
+				// (wall time per modeled ms) leaves the unit system.
+				delay := time.Duration(float64(maxCommTo(g, m, gpuOf, op, dst)) * float64(opt.CommDelay))
 				if err := rank.SendDelayed(dst, int(op), outs[i], delay); err != nil {
 					return err
 				}
@@ -246,11 +249,11 @@ func sendTargets(g *graph.Graph, gpuOf []int, op graph.OpID) []int {
 	return out
 }
 
-// maxCommTo returns the modeled transfer time (ms) of op's tensor to the
+// maxCommTo returns the modeled transfer time of op's tensor to the
 // given GPU: the maximum over consuming edges (they share one physical
 // transfer).
-func maxCommTo(g *graph.Graph, m cost.Model, gpuOf []int, op graph.OpID, dst int) float64 {
-	best := 0.0
+func maxCommTo(g *graph.Graph, m cost.Model, gpuOf []int, op graph.OpID, dst int) units.Millis {
+	best := units.Millis(0)
 	g.Succs(op, func(v graph.OpID, _ float64) {
 		if gpuOf[v] != dst {
 			return

@@ -25,6 +25,7 @@ import (
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/sched"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // MaxOps bounds the search; beyond ~26 operators the exact tree is
@@ -68,33 +69,33 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 
 	// tail[v]: compute-only longest path from v to a sink, excluding
 	// t(v) itself.
-	tail := make([]float64, n)
+	tail := make([]units.Millis, n)
 	for i := n - 1; i >= 0; i-- {
 		v := order[i]
-		best := 0.0
+		best := units.Millis(0)
 		g.Succs(v, func(to graph.OpID, _ float64) {
-			if x := g.Time(to) + tail[to]; x > best {
+			if x := units.Millis(g.Time(to)) + tail[to]; x > best {
 				best = x
 			}
 		})
 		tail[v] = best
 	}
 	// suffixWork[i]: total operator time of order[i:].
-	suffixWork := make([]float64, n+1)
+	suffixWork := make([]units.Millis, n+1)
 	for i := n - 1; i >= 0; i-- {
-		suffixWork[i] = suffixWork[i+1] + g.Time(order[i])
+		suffixWork[i] = suffixWork[i+1] + units.Millis(g.Time(order[i]))
 	}
 
 	place := make([]int, n)
-	finish := make([]float64, n)
-	avail := make([]float64, M)
+	finish := make([]units.Millis, n)
+	avail := make([]units.Millis, M)
 	bestPlace := make([]int, n)
-	bestLat := math.Inf(1)
+	bestLat := units.Millis(math.Inf(1))
 	var nodes int64
 	truncated := false
 
-	var rec func(i int, curMax float64, used int)
-	rec = func(i int, curMax float64, used int) {
+	var rec func(i int, curMax units.Millis, used int)
+	rec = func(i int, curMax units.Millis, used int) {
 		if truncated {
 			return
 		}
@@ -123,7 +124,7 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 				minAvail = a
 			}
 		}
-		if minAvail+suffixWork[i]/float64(M) >= bestLat {
+		if minAvail+suffixWork[i].Div(float64(M)) >= bestLat {
 			return
 		}
 		limit := used + 1
@@ -164,7 +165,7 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 	}
 	rec(0, 0, 0)
 
-	if math.IsInf(bestLat, 1) {
+	if math.IsInf(float64(bestLat), 1) {
 		return sched.Result{}, fmt.Errorf("bnb: no schedule found (budget too small)")
 	}
 	s := sched.FromPlacement(M, order, bestPlace)

@@ -11,6 +11,7 @@ import (
 	"github.com/shus-lab/hios/internal/sched/brute"
 	"github.com/shus-lab/hios/internal/sched/lp"
 	"github.com/shus-lab/hios/internal/sched/mr"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 func tiny(seed int64, ops int) (*graph.Graph, cost.Model) {
@@ -121,7 +122,7 @@ func TestSingleGPUEqualsSequentialSum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if diff := res.Latency - g.TotalOpTime(); diff > 1e-9 || diff < -1e-9 {
+	if diff := res.Latency - units.Millis(g.TotalOpTime()); diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("1-GPU optimum %g != total work %g", res.Latency, g.TotalOpTime())
 	}
 }

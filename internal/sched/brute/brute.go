@@ -11,6 +11,7 @@ import (
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/sched"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // MaxOps bounds the exhaustive searches: M^MaxOps placements.
@@ -32,7 +33,7 @@ func BestPlacement(g *graph.Graph, m cost.Model, gpus int) (sched.Result, error)
 	}
 	order := g.ByPriority()
 	place := make([]int, n)
-	best := sched.Result{Latency: math.Inf(1)}
+	best := sched.Result{Latency: units.Millis(math.Inf(1))}
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == n {

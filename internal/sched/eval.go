@@ -5,6 +5,7 @@ import (
 
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // Timing is the evaluated timeline of a schedule: the earliest start and
@@ -12,15 +13,15 @@ import (
 // precedence constraint of §III-B, plus the resulting end-to-end latency.
 type Timing struct {
 	// Latency is the makespan: the maximum stage finish time.
-	Latency float64
+	Latency units.Millis
 	// StageStart[g][j] / StageFinish[g][j] bound stage j on GPU g.
-	StageStart  [][]float64
-	StageFinish [][]float64
+	StageStart  [][]units.Millis
+	StageFinish [][]units.Millis
 	// OpStart / OpFinish are per-operator views (members of a stage
 	// share its start; each finishes with its stage, matching the
 	// paper's model where t(S) is measured for the set as a whole).
-	OpStart  []float64
-	OpFinish []float64
+	OpStart  []units.Millis
+	OpFinish []units.Millis
 	// GPUOf maps each operator to its GPU.
 	GPUOf []int
 }
@@ -62,13 +63,13 @@ func EvaluatePartial(g *graph.Graph, m cost.Model, s *Schedule) (*Timing, error)
 }
 
 // Latency evaluates the schedule and returns only the makespan.
-func Latency(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) {
+func Latency(g *graph.Graph, m cost.Model, s *Schedule) (units.Millis, error) {
 	var e Evaluator
 	return e.Latency(g, m, s)
 }
 
 // LatencyPartial evaluates a partial schedule and returns its makespan.
-func LatencyPartial(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) {
+func LatencyPartial(g *graph.Graph, m cost.Model, s *Schedule) (units.Millis, error) {
 	var e Evaluator
 	return e.LatencyPartial(g, m, s)
 }
@@ -77,7 +78,7 @@ func LatencyPartial(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) 
 // start(to) >= finish(from) + lag.
 type depEdge struct {
 	from int
-	lag  float64
+	lag  units.Millis
 }
 
 // Evaluator computes schedule timings with reusable scratch buffers. The
@@ -96,14 +97,14 @@ type Evaluator struct {
 	ready   []int
 	deps    [][]depEdge
 	succ    [][]int
-	start   []float64
-	finish  []float64
-	dur     []float64
+	start   []units.Millis
+	finish  []units.Millis
+	dur     []units.Millis
 }
 
 // Latency computes the makespan of a complete schedule, reusing the
 // evaluator's scratch buffers.
-func (e *Evaluator) Latency(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) {
+func (e *Evaluator) Latency(g *graph.Graph, m cost.Model, s *Schedule) (units.Millis, error) {
 	if err := e.validate(g, s, false); err != nil {
 		return 0, err
 	}
@@ -112,7 +113,7 @@ func (e *Evaluator) Latency(g *graph.Graph, m cost.Model, s *Schedule) (float64,
 
 // LatencyPartial computes the makespan of a partial schedule, reusing the
 // evaluator's scratch buffers.
-func (e *Evaluator) LatencyPartial(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) {
+func (e *Evaluator) LatencyPartial(g *graph.Graph, m cost.Model, s *Schedule) (units.Millis, error) {
 	if err := e.validate(g, s, true); err != nil {
 		return 0, err
 	}
@@ -155,7 +156,7 @@ func (e *Evaluator) validate(g *graph.Graph, s *Schedule, partial bool) error {
 // schedule must already be validated. After compute returns, e.start,
 // e.finish and the stage numbering (sequential over GPUs, then stages)
 // hold the full timeline, which timing() copies out.
-func (e *Evaluator) compute(g *graph.Graph, m cost.Model, s *Schedule) (float64, error) {
+func (e *Evaluator) compute(g *graph.Graph, m cost.Model, s *Schedule) (units.Millis, error) {
 	n := g.NumOps()
 	ns := 0
 	for gi := range s.GPUs {
@@ -190,7 +191,7 @@ func (e *Evaluator) compute(g *graph.Graph, m cost.Model, s *Schedule) (float64,
 		}
 	}
 
-	addDep := func(from, to int, lag float64) {
+	addDep := func(from, to int, lag units.Millis) {
 		e.deps[to] = append(e.deps[to], depEdge{from: from, lag: lag})
 		e.succ[from] = append(e.succ[from], to)
 		e.indeg[to]++
@@ -230,12 +231,12 @@ func (e *Evaluator) compute(g *graph.Graph, m cost.Model, s *Schedule) (float64,
 		}
 	}
 	visited := 0
-	latency := 0.0
+	latency := units.Millis(0)
 	for len(e.ready) > 0 {
 		id := e.ready[len(e.ready)-1]
 		e.ready = e.ready[:len(e.ready)-1]
 		visited++
-		t := 0.0
+		t := units.Millis(0)
 		for _, d := range e.deps[id] {
 			if x := e.finish[d.from] + d.lag; x > t {
 				t = x
@@ -268,17 +269,17 @@ func (e *Evaluator) timing(g *graph.Graph, m cost.Model, s *Schedule) (*Timing, 
 	n := g.NumOps()
 	tm := &Timing{
 		Latency:     lat,
-		StageStart:  make([][]float64, len(s.GPUs)),
-		StageFinish: make([][]float64, len(s.GPUs)),
-		OpStart:     make([]float64, n),
-		OpFinish:    make([]float64, n),
+		StageStart:  make([][]units.Millis, len(s.GPUs)),
+		StageFinish: make([][]units.Millis, len(s.GPUs)),
+		OpStart:     make([]units.Millis, n),
+		OpFinish:    make([]units.Millis, n),
 		GPUOf:       make([]int, n),
 	}
 	copy(tm.GPUOf, e.place[:n])
 	id := 0
 	for gi := range s.GPUs {
-		tm.StageStart[gi] = make([]float64, len(s.GPUs[gi].Stages))
-		tm.StageFinish[gi] = make([]float64, len(s.GPUs[gi].Stages))
+		tm.StageStart[gi] = make([]units.Millis, len(s.GPUs[gi].Stages))
+		tm.StageFinish[gi] = make([]units.Millis, len(s.GPUs[gi].Stages))
 		for j := range s.GPUs[gi].Stages {
 			tm.StageStart[gi][j] = e.start[id]
 			tm.StageFinish[gi][j] = e.finish[id]
@@ -332,5 +333,5 @@ func ValidatePartial(g *graph.Graph, s *Schedule) error {
 // algorithm in this repository returns one.
 type Result struct {
 	Schedule *Schedule
-	Latency  float64
+	Latency  units.Millis
 }

@@ -9,6 +9,7 @@ import (
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/stats"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // paperFig3 builds the six-operator graph of the paper's Fig. 3 schedule
@@ -223,7 +224,7 @@ func TestSequentialLatencyIsSum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if diff := lat - g.TotalOpTime(); diff > 1e-9 || diff < -1e-9 {
+	if diff := lat - units.Millis(g.TotalOpTime()); diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("sequential latency %g != total op time %g", lat, g.TotalOpTime())
 	}
 }
@@ -271,7 +272,7 @@ func TestEvaluateRespectsPrecedenceProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		maxFinish := 0.0
+		maxFinish := units.Millis(0)
 		for v := 0; v < n; v++ {
 			if tm.OpFinish[v] > maxFinish {
 				maxFinish = tm.OpFinish[v]
@@ -284,9 +285,9 @@ func TestEvaluateRespectsPrecedenceProperty(t *testing.T) {
 			return false
 		}
 		for _, e := range g.Edges() {
-			lag := 0.0
+			lag := units.Millis(0)
 			if place[e.From] != place[e.To] {
-				lag = e.Time
+				lag = units.Millis(e.Time)
 			}
 			if tm.OpStart[e.To] < tm.OpFinish[e.From]+lag-1e-9 {
 				return false
@@ -413,7 +414,7 @@ func TestEvaluatePartialDependencies(t *testing.T) {
 	if err != nil {
 		t.Fatalf("LatencyPartial: %v", err)
 	}
-	if want := m.OpTime(a) + m.OpTime(c); !stats.ApproxEqual(lat, want, 0) {
+	if want := m.OpTime(a) + m.OpTime(c); !stats.ApproxEqual(float64(lat), float64(want), 0) {
 		t.Fatalf("partial latency %g, want %g", lat, want)
 	}
 

@@ -7,6 +7,7 @@ import (
 
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // maxBlockOps bounds the number of operators one DP block may hold: the
@@ -25,7 +26,7 @@ func (b *bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
 // dpState is one DP node: a prefix-closed set of scheduled block operators.
 type dpState struct {
 	set   bitset
-	cost  float64
+	cost  units.Millis
 	prev  bitset       // predecessor state
 	stage []graph.OpID // stage taken to reach this state (graph IDs)
 	count int          // popcount of set
@@ -127,7 +128,7 @@ func solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, opt Options) (
 		full.set(i)
 	}
 	end, ok := states[full]
-	if !ok || math.IsInf(end.cost, 1) {
+	if !ok || math.IsInf(float64(end.cost), 1) {
 		return nil, fmt.Errorf("ios: dynamic program did not reach the full state (beam too narrow?)")
 	}
 	// Walk predecessors back to the empty state.

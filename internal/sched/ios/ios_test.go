@@ -11,6 +11,7 @@ import (
 	"github.com/shus-lab/hios/internal/randdag"
 	"github.com/shus-lab/hios/internal/sched"
 	"github.com/shus-lab/hios/internal/sched/seq"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 func diamond(t *testing.T) *graph.Graph {
@@ -123,11 +124,11 @@ func TestNeverWorseThanSequential(t *testing.T) {
 // exhaustiveIOS enumerates every stage decomposition recursively (no memo,
 // no pruning) and returns the optimal single-GPU latency. Exponential;
 // only for tiny graphs.
-func exhaustiveIOS(g *graph.Graph, m cost.Model, maxStage int) float64 {
+func exhaustiveIOS(g *graph.Graph, m cost.Model, maxStage int) units.Millis {
 	n := g.NumOps()
 	done := make([]bool, n)
-	var rec func(left int) float64
-	rec = func(left int) float64 {
+	var rec func(left int) units.Millis
+	rec = func(left int) units.Millis {
 		if left == 0 {
 			return 0
 		}
@@ -146,7 +147,7 @@ func exhaustiveIOS(g *graph.Graph, m cost.Model, maxStage int) float64 {
 				frontier = append(frontier, graph.OpID(v))
 			}
 		}
-		best := math.Inf(1)
+		best := units.Millis(math.Inf(1))
 		var stage []graph.OpID
 		var sub func(i int)
 		sub = func(i int) {

@@ -25,6 +25,7 @@ import (
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/sched"
 	"github.com/shus-lab/hios/internal/sched/window"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // Options configures HIOS-LP.
@@ -86,7 +87,7 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 		// lowest latency of the scheduled subgraph (ties: lowest GPU
 		// index, which also exploits GPU homogeneity for the first
 		// path — every device is equivalent, so GPU 0 wins).
-		best := math.Inf(1)
+		best := units.Millis(math.Inf(1))
 		bestGPU := 0
 		for gi := 0; gi < opt.GPUs; gi++ {
 			for _, v := range path {

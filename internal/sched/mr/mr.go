@@ -26,6 +26,7 @@ import (
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/sched"
 	"github.com/shus-lab/hios/internal/sched/window"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // Options configures HIOS-MR.
@@ -62,13 +63,13 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 	}
 
 	// Lines 2–4: the n×M table of (earliest finish, predecessor GPU).
-	tTab := make([][]float64, n)
+	tTab := make([][]units.Millis, n)
 	gTab := make([][]int, n)
 	for i := 0; i < n; i++ {
-		tTab[i] = make([]float64, M)
+		tTab[i] = make([]units.Millis, M)
 		gTab[i] = make([]int, M)
 		for j := 0; j < M; j++ {
-			tTab[i][j] = math.Inf(1)
+			tTab[i][j] = units.Millis(math.Inf(1))
 			gTab[i][j] = 0
 		}
 	}
@@ -76,7 +77,7 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 	tTab[0][0] = m.OpTime(order[0])
 
 	// Scratch buffers for the chain replay.
-	tF := make([]float64, n)
+	tF := make([]units.Millis, n)
 	gOf := make([]int, n)
 
 	// Lines 6–21.
@@ -92,7 +93,7 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 		}
 		for j := 0; j < maxJ; j++ {
 			for k := 0; k < maxK; k++ {
-				if math.IsInf(tTab[i-1][k], 1) {
+				if math.IsInf(float64(tTab[i-1][k]), 1) {
 					continue // v_{i-1} cannot finish on GPU k
 				}
 				// Lines 10–12: replay the recorded chain to
@@ -105,7 +106,7 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 					mm = gTab[l][mm]
 				}
 				// Line 14: GPU j availability.
-				tk := 0.0
+				tk := units.Millis(0)
 				for l := 0; l < i; l++ {
 					if gOf[l] == j && tF[l] > tk {
 						tk = tF[l]

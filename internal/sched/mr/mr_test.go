@@ -11,6 +11,7 @@ import (
 	"github.com/shus-lab/hios/internal/sched"
 	"github.com/shus-lab/hios/internal/sched/brute"
 	"github.com/shus-lab/hios/internal/sched/seq"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 func smallCfg(seed int64) randdag.Config {
@@ -140,12 +141,12 @@ func TestScheduleInvariantsProperty(t *testing.T) {
 		if err := sched.Validate(g, res.Schedule); err != nil {
 			return false
 		}
-		lb := g.CriticalComputeLength()
+		lb := units.Millis(g.CriticalComputeLength())
 		ub := g.TotalOpTime()
 		for _, e := range g.Edges() {
 			ub += e.Time
 		}
-		return res.Latency >= lb-1e-9 && res.Latency <= ub+1e-9
+		return res.Latency >= lb-1e-9 && res.Latency <= units.Millis(ub)+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/randdag"
 	"github.com/shus-lab/hios/internal/sched"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 func TestLatencyIsSumOfOpTimes(t *testing.T) {
@@ -18,7 +19,7 @@ func TestLatencyIsSumOfOpTimes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if diff := res.Latency - g.TotalOpTime(); diff > 1e-9 || diff < -1e-9 {
+	if diff := res.Latency - units.Millis(g.TotalOpTime()); diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("sequential latency %g != sum of op times %g", res.Latency, g.TotalOpTime())
 	}
 	if err := sched.Validate(g, res.Schedule); err != nil {

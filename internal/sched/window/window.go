@@ -22,6 +22,7 @@ import (
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/sched"
 	"github.com/shus-lab/hios/internal/sched/ios"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // DefaultSize is the default maximum window size w. The paper's examples
@@ -45,7 +46,7 @@ func ParallelizeFixpoint(g *graph.Graph, m cost.Model, s *sched.Schedule, w, max
 		if err != nil {
 			return sched.Result{}, err
 		}
-		if next.Latency >= cur.Latency-1e-12 {
+		if next.Latency >= cur.Latency-units.Millis(1e-12) {
 			return cur, nil
 		}
 		cur = next

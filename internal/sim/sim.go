@@ -19,6 +19,7 @@ import (
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/sched"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // StageRecord is one executed stage in the timeline.
@@ -26,27 +27,27 @@ type StageRecord struct {
 	GPU    int
 	Index  int
 	Ops    []graph.OpID
-	Start  float64
-	Finish float64
+	Start  units.Millis
+	Finish units.Millis
 }
 
 // TransferRecord is one inter-GPU tensor transfer in the timeline.
 type TransferRecord struct {
 	From, To       graph.OpID
 	FromGPU, ToGPU int
-	Depart, Arrive float64
+	Depart, Arrive units.Millis
 }
 
 // Trace is the full simulated execution.
 type Trace struct {
-	Latency   float64
+	Latency   units.Millis
 	Stages    []StageRecord
 	Transfers []TransferRecord
 }
 
 // event is a pending simulator event.
 type event struct {
-	at   float64
+	at   units.Millis
 	kind int // 0: stage finish, 1: transfer arrival
 	seq  int // tie-break for determinism
 	gpu  int // stage finish: which GPU
@@ -129,7 +130,7 @@ func RunOpts(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (*Tra
 		from       graph.OpID
 		fromGPU    int
 		toGPU      int
-		comm       float64
+		comm       units.Millis
 		dstStages  []stageKey
 		consumerOp graph.OpID // representative consumer, for the record
 	}
@@ -171,15 +172,15 @@ func RunOpts(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (*Tra
 
 	tr := &Trace{}
 	next := make([]int, len(s.GPUs)) // next stage index per GPU
-	busyUntil := make([]float64, len(s.GPUs))
+	busyUntil := make([]units.Millis, len(s.GPUs))
 	started := make([]bool, len(s.GPUs)) // whether next[gpu] is running
 	// linkFree[src][dst] is when the directed link src->dst next becomes
 	// idle, used only under SerializeLinks.
-	linkFree := make([][]float64, len(s.GPUs))
+	linkFree := make([][]units.Millis, len(s.GPUs))
 	for i := range linkFree {
-		linkFree[i] = make([]float64, len(s.GPUs))
+		linkFree[i] = make([]units.Millis, len(s.GPUs))
 	}
-	now := 0.0
+	now := units.Millis(0)
 	seq := 0
 	var h eventHeap
 

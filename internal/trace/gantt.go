@@ -32,7 +32,7 @@ func Gantt(g *graph.Graph, tr *sim.Trace, width int) string {
 			maxGPU = st.GPU
 		}
 	}
-	scale := float64(width) / tr.Latency
+	scale := float64(width) / float64(tr.Latency)
 	rows := make([][]byte, maxGPU+1)
 	firstBusy := make([]int, maxGPU+1)
 	lastBusy := make([]int, maxGPU+1)
@@ -44,8 +44,8 @@ func Gantt(g *graph.Graph, tr *sim.Trace, width int) string {
 	letter := byte('a')
 	var legend strings.Builder
 	for _, st := range tr.Stages {
-		lo := int(st.Start * scale)
-		hi := int(st.Finish * scale)
+		lo := int(float64(st.Start) * scale)
+		hi := int(float64(st.Finish) * scale)
 		if hi >= width {
 			hi = width - 1
 		}

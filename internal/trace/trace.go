@@ -14,6 +14,7 @@ import (
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/sched"
 	"github.com/shus-lab/hios/internal/sim"
+	"github.com/shus-lab/hios/internal/units"
 )
 
 // ScheduleJSON is the on-disk schedule format: one entry per GPU, each an
@@ -24,8 +25,10 @@ type ScheduleJSON struct {
 	Model string `json:"model"`
 	// Algorithm names the scheduler that produced it.
 	Algorithm string `json:"algorithm"`
-	// LatencyMs is the predicted inference latency.
-	LatencyMs float64 `json:"latency_ms"`
+	// LatencyMs is the predicted inference latency. units.Millis
+	// marshals exactly like float64 (it defines no MarshalJSON), so the
+	// wire format is unchanged.
+	LatencyMs units.Millis `json:"latency_ms"`
 	// GPUs holds the per-device stage lists.
 	GPUs []GPUJSON `json:"gpus"`
 }
@@ -43,7 +46,7 @@ type StageJSON struct {
 }
 
 // MarshalSchedule renders a schedule to the JSON interchange form.
-func MarshalSchedule(g *graph.Graph, s *sched.Schedule, model, algorithm string, latency float64) ([]byte, error) {
+func MarshalSchedule(g *graph.Graph, s *sched.Schedule, model, algorithm string, latency units.Millis) ([]byte, error) {
 	out := ScheduleJSON{Model: model, Algorithm: algorithm, LatencyMs: latency}
 	for gi, q := range s.GPUs {
 		gj := GPUJSON{GPU: gi}
@@ -124,8 +127,8 @@ func ChromeTrace(g *graph.Graph, tr *sim.Trace) ([]byte, error) {
 			Name: name,
 			Cat:  "stage",
 			Ph:   "X",
-			TS:   st.Start * 1000,
-			Dur:  (st.Finish - st.Start) * 1000,
+			TS:   float64(st.Start.Micros()),
+			Dur:  float64((st.Finish - st.Start).Micros()),
 			PID:  st.GPU,
 			TID:  0,
 		})
@@ -139,8 +142,8 @@ func ChromeTrace(g *graph.Graph, tr *sim.Trace) ([]byte, error) {
 			Name: name,
 			Cat:  "transfer",
 			Ph:   "X",
-			TS:   x.Depart * 1000,
-			Dur:  (x.Arrive - x.Depart) * 1000,
+			TS:   float64(x.Depart.Micros()),
+			Dur:  float64((x.Arrive - x.Depart).Micros()),
 			PID:  x.FromGPU,
 			TID:  1,
 		})

@@ -11,9 +11,10 @@ import (
 	"github.com/shus-lab/hios/internal/sched"
 	"github.com/shus-lab/hios/internal/sched/lp"
 	"github.com/shus-lab/hios/internal/sim"
+	"github.com/shus-lab/hios/internal/units"
 )
 
-func fixture(t *testing.T) (*graph.Graph, cost.Model, *sched.Schedule, float64) {
+func fixture(t *testing.T) (*graph.Graph, cost.Model, *sched.Schedule, units.Millis) {
 	t.Helper()
 	cfg := randdag.Paper()
 	cfg.Ops, cfg.Layers, cfg.Deps, cfg.Seed = 20, 4, 40, 7

@@ -1,0 +1,120 @@
+// Package units defines typed physical quantities for the cost core.
+//
+// Every number HIOS schedules on — kernel latency t(v), stage latency
+// t(S), transfer cost t(u,v), link bandwidth, FLOP counts — flows through
+// the roofline and contention models, where a seconds-vs-milliseconds or
+// bytes-vs-gigabytes mixup silently skews every figure the reproduction
+// produces. Each quantity kind is therefore a distinct defined type over
+// float64: the compiler rejects cross-kind addition and comparison
+// outright, and the unitflow analyzer (internal/lint) checks the flows
+// the type system cannot see.
+//
+// The types are zero-overhead: defined float64 types compile to the same
+// arithmetic as raw float64, carry no methods that would change fmt or
+// encoding/json behaviour (no String, no MarshalJSON), and every method
+// below performs exactly the floating-point operation sequence of the
+// raw-float64 formula it replaced — migrating onto them is bit-exact
+// (asserted by TestBitExactFormulas).
+//
+// Millis is the native duration unit of the whole repository: the paper
+// reports milliseconds, every cost-model value is milliseconds, and sums
+// of stage times must accumulate in milliseconds to stay bit-identical
+// (round-tripping through seconds would re-round every term). Seconds
+// appears only as the true intermediate of the roofline divisions —
+// work/throughput and bytes/bandwidth are dimensionally seconds — and is
+// converted to Millis at the point of use. Micros exists for the Chrome
+// trace exporter, whose wire format is microseconds.
+//
+// Legal cross-unit operations (the complete table; anything else is a
+// dimensional error):
+//
+//	FLOPs / FLOPsPerSec  → Seconds   (FLOPs.Over)
+//	Bytes / BytesPerSec  → Seconds   (Bytes.Over)
+//	Seconds × 1e3        → Millis    (Seconds.Millis)
+//	Millis  / 1e3        → Seconds   (Millis.Seconds)
+//	Millis  × 1e3        → Micros    (Millis.Micros)
+//	unit × dimensionless → unit      (Scale)
+//	unit / same unit     → float64   (Ratio)
+package units
+
+// Millis is a duration in milliseconds — the repository's native time
+// unit (operator latency t(v), stage latency t(S), transfer cost t(u,v),
+// end-to-end makespan).
+type Millis float64
+
+// Seconds is a duration in seconds, the intermediate produced by the
+// roofline divisions before conversion to the native Millis.
+type Seconds float64
+
+// Micros is a duration in microseconds (Chrome trace wire format).
+type Micros float64
+
+// Bytes is a data size in bytes (tensor sizes, memory traffic).
+type Bytes float64
+
+// FLOPs is an amount of floating-point work.
+type FLOPs float64
+
+// BytesPerSec is a data rate in bytes per second (memory and link
+// bandwidth).
+type BytesPerSec float64
+
+// FLOPsPerSec is a compute throughput in FLOP per second.
+type FLOPsPerSec float64
+
+// GFLOPsPerSec converts a throughput stated in GFLOP/s (the unit device
+// datasheets use) to FLOPsPerSec. For datasheet-scale magnitudes the
+// product is an exact integer below 2^53, so no precision is lost.
+func GFLOPsPerSec(g float64) FLOPsPerSec { return FLOPsPerSec(g * 1e9) }
+
+// GBPerSec converts a bandwidth stated in GB/s (the unit link and memory
+// datasheets use) to BytesPerSec.
+func GBPerSec(g float64) BytesPerSec { return BytesPerSec(g * 1e9) }
+
+// Over returns the time to execute f at throughput r: FLOPs/FLOPsPerSec
+// is dimensionally seconds.
+func (f FLOPs) Over(r FLOPsPerSec) Seconds { return Seconds(float64(f) / float64(r)) }
+
+// Over returns the time to move b at rate r: Bytes/BytesPerSec is
+// dimensionally seconds.
+func (b Bytes) Over(r BytesPerSec) Seconds { return Seconds(float64(b) / float64(r)) }
+
+// Millis converts seconds to the native milliseconds (×1e3, the exact
+// multiply the raw formulas applied after their roofline division).
+func (s Seconds) Millis() Millis { return Millis(float64(s) * 1e3) }
+
+// Seconds converts milliseconds to seconds (÷1e3). Use only at unit
+// boundaries; durations accumulate in Millis.
+func (m Millis) Seconds() Seconds { return Seconds(float64(m) / 1e3) }
+
+// Micros converts milliseconds to microseconds (×1e3).
+func (m Millis) Micros() Micros { return Micros(float64(m) * 1e3) }
+
+// Scale multiplies the duration by a dimensionless factor (contention
+// multipliers, utilization weights, repeat counts).
+func (m Millis) Scale(f float64) Millis { return Millis(float64(m) * f) }
+
+// Scale multiplies the throughput by a dimensionless factor (efficiency
+// derating, occupancy).
+func (r FLOPsPerSec) Scale(f float64) FLOPsPerSec { return FLOPsPerSec(float64(r) * f) }
+
+// Scale multiplies the rate by a dimensionless factor.
+func (r BytesPerSec) Scale(f float64) BytesPerSec { return BytesPerSec(float64(r) * f) }
+
+// Scale multiplies the size by a dimensionless factor.
+func (b Bytes) Scale(f float64) Bytes { return Bytes(float64(b) * f) }
+
+// Scale multiplies the work by a dimensionless factor.
+func (w FLOPs) Scale(f float64) FLOPs { return FLOPs(float64(w) * f) }
+
+// Ratio returns the dimensionless quotient of two durations (speedups,
+// normalized gaps, rendering scales).
+func (m Millis) Ratio(o Millis) float64 { return float64(m) / float64(o) }
+
+// Ratio returns the dimensionless quotient of two sizes.
+func (b Bytes) Ratio(o Bytes) float64 { return float64(b) / float64(o) }
+
+// Div divides the duration by a dimensionless factor (perfect-spread
+// work bounds, averaging). Kept as a true division — multiplying by the
+// reciprocal would round differently.
+func (m Millis) Div(f float64) Millis { return Millis(float64(m) / f) }
