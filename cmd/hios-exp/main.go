@@ -102,6 +102,9 @@ func main() {
 // size, IOS pruning, link contention, and the §VI-E NCCL what-if.
 func runAblations() {
 	opt := hios.SimOptions{Seeds: 5, GPUs: 4}
+	if err := opt.Validate(); err != nil {
+		fatal(err)
+	}
 	if f, err := hios.AblationWindow(opt); err != nil {
 		fatal(err)
 	} else {

@@ -62,7 +62,11 @@ func main() {
 		res = hios.Result{Schedule: s, Latency: lat}
 		*algo = "(loaded from " + *evalPath + ")"
 	} else {
-		res, err = hios.Optimize(g, m, hios.Algorithm(*algo), hios.Options{GPUs: *gpus, Window: *window})
+		opt := hios.Options{GPUs: *gpus, Window: *window}
+		if err := opt.Validate(hios.Algorithm(*algo)); err != nil {
+			fatal(err)
+		}
+		res, err = hios.Optimize(g, m, hios.Algorithm(*algo), opt)
 		if err != nil {
 			fatal(err)
 		}

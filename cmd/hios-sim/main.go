@@ -33,6 +33,10 @@ func main() {
 	flag.Parse()
 
 	opt := hios.SimOptions{Seeds: *seeds, GPUs: *gpus, Window: *window}
+	if err := opt.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "hios-sim:", err)
+		os.Exit(1)
+	}
 	type driver struct {
 		id string
 		fn func(hios.SimOptions) (hios.Figure, error)

@@ -21,6 +21,10 @@
 package hios
 
 import (
+	"errors"
+	"fmt"
+	"io"
+
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/gpu"
 	"github.com/shus-lab/hios/internal/graph"
@@ -153,7 +157,10 @@ func Algorithms() []Algorithm {
 	return []Algorithm{Sequential, IOS, HIOSLP, HIOSMR, InterLP, InterMR}
 }
 
-// Options configures scheduling.
+// Options configures scheduling. Every zero value selects a documented
+// default, so Options{} is valid for the single-GPU algorithms and
+// Options{GPUs: m} for the multi-GPU ones; Validate is the single place
+// those rules live.
 type Options struct {
 	// GPUs is the number of homogeneous devices (M). Multi-GPU
 	// algorithms require at least 1; single-GPU algorithms ignore it.
@@ -167,9 +174,62 @@ type Options struct {
 	IOSPruneWindow int
 }
 
+// Sentinel errors of Options.Validate. Match with errors.Is; the
+// returned errors wrap these with the offending values.
+var (
+	// ErrUnknownAlgorithm reports an Algorithm value outside
+	// Algorithms().
+	ErrUnknownAlgorithm = errors.New("hios: unknown algorithm")
+	// ErrNoGPUs reports a multi-GPU algorithm invoked with GPUs < 1.
+	ErrNoGPUs = errors.New("hios: multi-GPU algorithm needs GPUs >= 1")
+	// ErrBadWindow reports a negative sliding-window size.
+	ErrBadWindow = errors.New("hios: negative window size")
+	// ErrBadIOSBound reports a negative IOS pruning bound.
+	ErrBadIOSBound = errors.New("hios: negative IOS bound")
+)
+
+// multiGPU reports whether the algorithm places operators across
+// devices (and so requires Options.GPUs).
+func (a Algorithm) multiGPU() bool {
+	switch a {
+	case HIOSLP, HIOSMR, InterLP, InterMR:
+		return true
+	}
+	return false
+}
+
+// Validate checks the options against the selected algorithm and
+// returns the first violation wrapped around one of the sentinel errors
+// above (nil when the configuration is valid). Zero values with
+// documented defaults — Window, IOSMaxStage, IOSPruneWindow, and GPUs
+// for single-GPU algorithms — are always valid. Optimize and every cmd/
+// driver route their checking through here, so the rules live in one
+// place and callers can errors.Is-match the failure.
+func (o Options) Validate(algo Algorithm) error {
+	switch algo {
+	case Sequential, IOS, HIOSLP, HIOSMR, InterLP, InterMR:
+	default:
+		return fmt.Errorf("%w %q (want one of %v)", ErrUnknownAlgorithm, string(algo), Algorithms())
+	}
+	if algo.multiGPU() && o.GPUs < 1 {
+		return fmt.Errorf("%w: %s got GPUs=%d", ErrNoGPUs, algo, o.GPUs)
+	}
+	if o.Window < 0 {
+		return fmt.Errorf("%w: %d", ErrBadWindow, o.Window)
+	}
+	if o.IOSMaxStage < 0 || o.IOSPruneWindow < 0 {
+		return fmt.Errorf("%w: IOSMaxStage=%d IOSPruneWindow=%d", ErrBadIOSBound, o.IOSMaxStage, o.IOSPruneWindow)
+	}
+	return nil
+}
+
 // Optimize runs the selected scheduling algorithm on g under cost model
-// m and returns the optimized schedule with its predicted latency.
+// m and returns the optimized schedule with its predicted latency. The
+// options are checked with opt.Validate(algo) first.
 func Optimize(g *Graph, m CostModel, algo Algorithm, opt Options) (Result, error) {
+	if err := opt.Validate(algo); err != nil {
+		return Result{}, err
+	}
 	switch algo {
 	case Sequential:
 		return seq.Schedule(g, m)
@@ -181,18 +241,9 @@ func Optimize(g *Graph, m CostModel, algo Algorithm, opt Options) (Result, error
 		return mr.Schedule(g, m, mr.Options{GPUs: opt.GPUs, Window: opt.Window})
 	case InterLP:
 		return lp.Schedule(g, m, lp.Options{GPUs: opt.GPUs, InterOnly: true})
-	case InterMR:
+	default: // InterMR; Validate rejected everything else
 		return mr.Schedule(g, m, mr.Options{GPUs: opt.GPUs, InterOnly: true})
-	default:
-		return Result{}, &UnknownAlgorithmError{Name: string(algo)}
 	}
-}
-
-// UnknownAlgorithmError reports an unrecognized Algorithm value.
-type UnknownAlgorithmError struct{ Name string }
-
-func (e *UnknownAlgorithmError) Error() string {
-	return "hios: unknown algorithm " + e.Name
 }
 
 // Parallelize applies the intra-GPU sliding-window pass (Algorithm 2) to
@@ -310,10 +361,22 @@ func Gantt(g *Graph, tr *SimTrace, width int) string {
 	return trace.Gantt(g, tr, width)
 }
 
+// WriteGantt streams the Gantt chart to w without building the
+// intermediate string; Gantt delegates to it.
+func WriteGantt(w io.Writer, g *Graph, tr *SimTrace, width int) error {
+	return trace.WriteGantt(w, g, tr, width)
+}
+
 // DOT renders the computation graph in Graphviz format; when s is
 // non-nil, operators are clustered by GPU and colored by stage.
 func DOT(g *Graph, s *Schedule) string {
 	return trace.DOT(g, s)
+}
+
+// WriteDOT streams the Graphviz rendering to w without building the
+// intermediate string; DOT delegates to it.
+func WriteDOT(w io.Writer, g *Graph, s *Schedule) error {
+	return trace.WriteDOT(w, g, s)
 }
 
 // InceptionV3 builds the Inception-v3 benchmark at a square input size on

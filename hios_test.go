@@ -1,6 +1,8 @@
 package hios_test
 
 import (
+	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -44,11 +46,77 @@ func TestOptimizeAllAlgorithms(t *testing.T) {
 func TestOptimizeUnknownAlgorithm(t *testing.T) {
 	g, m := quickGraph(t)
 	_, err := hios.Optimize(g, m, hios.Algorithm("bogus"), hios.Options{GPUs: 1})
-	if err == nil {
-		t.Fatal("unknown algorithm accepted")
+	if !errors.Is(err, hios.ErrUnknownAlgorithm) {
+		t.Fatalf("err = %v, want errors.Is(ErrUnknownAlgorithm)", err)
 	}
 	if !strings.Contains(err.Error(), "bogus") {
 		t.Fatalf("error should name the algorithm: %v", err)
+	}
+}
+
+// Options.Validate is the single home of the option rules; every
+// sentinel must be errors.Is-matchable through Optimize.
+func TestOptionsValidate(t *testing.T) {
+	g, m := quickGraph(t)
+	cases := []struct {
+		name string
+		algo hios.Algorithm
+		opt  hios.Options
+		want error
+	}{
+		{"unknown algorithm", hios.Algorithm("nope"), hios.Options{}, hios.ErrUnknownAlgorithm},
+		{"lp without gpus", hios.HIOSLP, hios.Options{}, hios.ErrNoGPUs},
+		{"mr negative gpus", hios.HIOSMR, hios.Options{GPUs: -2}, hios.ErrNoGPUs},
+		{"inter-lp without gpus", hios.InterLP, hios.Options{}, hios.ErrNoGPUs},
+		{"inter-mr without gpus", hios.InterMR, hios.Options{}, hios.ErrNoGPUs},
+		{"negative window", hios.HIOSLP, hios.Options{GPUs: 2, Window: -1}, hios.ErrBadWindow},
+		{"negative ios max stage", hios.IOS, hios.Options{IOSMaxStage: -1}, hios.ErrBadIOSBound},
+		{"negative ios prune window", hios.IOS, hios.Options{IOSPruneWindow: -3}, hios.ErrBadIOSBound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.opt.Validate(tc.algo); !errors.Is(err, tc.want) {
+				t.Fatalf("Validate = %v, want errors.Is %v", err, tc.want)
+			}
+			if _, err := hios.Optimize(g, m, tc.algo, tc.opt); !errors.Is(err, tc.want) {
+				t.Fatalf("Optimize = %v, want errors.Is %v", err, tc.want)
+			}
+		})
+	}
+	// Single-GPU algorithms must keep accepting the zero Options.
+	for _, algo := range []hios.Algorithm{hios.Sequential, hios.IOS} {
+		if err := (hios.Options{}).Validate(algo); err != nil {
+			t.Fatalf("%s rejected zero Options: %v", algo, err)
+		}
+	}
+	if err := (hios.Options{GPUs: 2}).Validate(hios.HIOSLP); err != nil {
+		t.Fatalf("valid multi-GPU options rejected: %v", err)
+	}
+}
+
+func TestWriteTraceFacades(t *testing.T) {
+	g, m := quickGraph(t)
+	res, err := hios.Optimize(g, m, hios.HIOSLP, hios.Options{GPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dot bytes.Buffer
+	if err := hios.WriteDOT(&dot, g, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if dot.String() != hios.DOT(g, res.Schedule) {
+		t.Fatal("WriteDOT and DOT disagree")
+	}
+	tr, err := hios.Simulate(g, m, res.Schedule, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gantt bytes.Buffer
+	if err := hios.WriteGantt(&gantt, g, tr, 40); err != nil {
+		t.Fatal(err)
+	}
+	if gantt.String() != hios.Gantt(g, tr, 40) {
+		t.Fatal("WriteGantt and Gantt disagree")
 	}
 }
 

@@ -38,6 +38,15 @@ func (o *SimOptions) fill() {
 	}
 }
 
+// Validate reports the first structural violation of the sweep options.
+// Zero values are valid (they select the documented defaults).
+func (o SimOptions) Validate() error {
+	if o.Seeds < 0 || o.GPUs < 0 || o.Window < 0 || o.Workers < 0 {
+		return fmt.Errorf("experiments: negative sim option: %+v", o)
+	}
+	return nil
+}
+
 // sweep runs all six algorithms over a family of random-DAG configurations
 // and aggregates latencies per x value. cfgAt generates the model family
 // at x; runAt supplies the scheduler configuration at x (Fig. 7 varies the
@@ -53,6 +62,9 @@ func sweep(id, title, xlabel string, xs []float64,
 	runAt func(x float64) RunConfig,
 	opt SimOptions) (Figure, error) {
 
+	if err := opt.Validate(); err != nil {
+		return Figure{}, err
+	}
 	opt.fill()
 	fig := Figure{ID: id, Title: title, XLabel: xlabel, YLabel: "latency_ms"}
 	samples := make(map[string][]*stats.Sample, len(AllAlgorithms))

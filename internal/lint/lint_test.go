@@ -29,6 +29,12 @@ func TestPubAPI(t *testing.T) {
 	linttest.Run(t, lint.PubAPI, "testdata/pubapi", lint.ModulePath+"/cmd/fixture")
 }
 
+// The options rule is module-wide: an exported *Options struct without a
+// Validate method is flagged wherever it is declared.
+func TestPubAPIOptions(t *testing.T) {
+	linttest.Run(t, lint.PubAPI, "testdata/pubapioptions", lint.ModulePath+"/internal/serve/fixture")
+}
+
 func TestUnitFlow(t *testing.T) {
 	linttest.Run(t, lint.UnitFlow, "testdata/unitflow", lint.ModulePath+"/internal/cost/fixture")
 }
@@ -52,6 +58,10 @@ func TestScopeBoundaries(t *testing.T) {
 		{"floatcmp", lint.FloatCmp, "testdata/floatcmp", lint.ModulePath + "/internal/stats"},
 		{"detclock", lint.DetClock, "testdata/detclock", lint.ModulePath + "/internal/runtime"},
 		{"pubapi", lint.PubAPI, "testdata/pubapi", lint.ModulePath + "/internal/experiments"},
+		// The options rule exempts the lint tooling itself and anything
+		// outside the module.
+		{"pubapi-options-lint", lint.PubAPI, "testdata/pubapioptions", lint.ModulePath + "/internal/lint/fixture"},
+		{"pubapi-options-foreign", lint.PubAPI, "testdata/pubapioptions", "example.com/outside/fixture"},
 		{"unitflow", lint.UnitFlow, "testdata/unitflow", lint.ModulePath + "/internal/stats"},
 	}
 	for _, tc := range cases {

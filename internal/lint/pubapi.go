@@ -1,44 +1,108 @@
 package lint
 
 import (
+	"go/ast"
+	"go/token"
+	"go/types"
 	"strconv"
 	"strings"
 
 	"github.com/shus-lab/hios/internal/lint/analysis"
 )
 
-// PubAPI forbids commands (cmd/...) and examples (examples/...) from
-// importing internal/... packages directly. The root `hios` package is
-// the deliberate public facade: it re-exports every type and operation an
-// application needs, so a cmd import of internal/ either means the facade
-// is missing an entry point (extend it) or the command is reaching into
-// implementation details that the next refactor will break.
+// PubAPI enforces the shape of the public API surface with two rules.
 //
-// The lint tooling itself (internal/lint/...) is exempt: cmd/hios-lint is
-// a developer tool, not part of the scheduling API surface.
+// Import rule: commands (cmd/...) and examples (examples/...) must not
+// import internal/... packages directly. The root `hios` package is the
+// deliberate public facade: it re-exports every type and operation an
+// application needs, so a cmd import of internal/ either means the
+// facade is missing an entry point (extend it) or the command is
+// reaching into implementation details that the next refactor will
+// break. The lint tooling itself (internal/lint/...) is exempt:
+// cmd/hios-lint is a developer tool, not part of the scheduling API
+// surface.
+//
+// Options rule (module-wide): every exported struct type named Options
+// or *Options must have a Validate method. Option structs follow the
+// validated-options pattern — zero values select documented defaults
+// via a private fill, Validate reports structural violations — so a
+// bare options struct is an API that cannot reject bad configurations
+// compatibly.
 var PubAPI = &analysis.Analyzer{
 	Name: "pubapi",
-	Doc:  "forbids cmd/ and examples/ from importing internal/ directly",
+	Doc:  "forbids cmd/ and examples/ from importing internal/ directly; requires Validate on exported option structs",
 	Run:  runPubAPI,
 }
 
 func runPubAPI(pass *analysis.Pass) error {
-	if !inScope(pass.Path, "cmd", "examples") {
+	if inScope(pass.Path, "cmd", "examples") {
+		for _, f := range pass.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if !strings.HasPrefix(path, ModulePath+"/internal/") {
+					continue
+				}
+				if strings.HasPrefix(path, ModulePath+"/internal/lint") {
+					continue
+				}
+				pass.Reportf(imp.Pos(), "%s imports %s; commands and examples must go through the public hios facade", pass.Path, path)
+			}
+		}
+	}
+	if pass.Path != ModulePath && !strings.HasPrefix(pass.Path, ModulePath+"/") {
+		return nil
+	}
+	if inScope(pass.Path, "internal/lint") {
 		return nil
 	}
 	for _, f := range pass.Files {
-		for _, imp := range f.Imports {
-			path, err := strconv.Unquote(imp.Path.Value)
-			if err != nil {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
 				continue
 			}
-			if !strings.HasPrefix(path, ModulePath+"/internal/") {
-				continue
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				name := ts.Name.Name
+				if !ast.IsExported(name) || !strings.HasSuffix(name, "Options") {
+					continue
+				}
+				// Aliases re-export someone else's options type; the
+				// Validate method lives with the definition.
+				if ts.Assign.IsValid() {
+					continue
+				}
+				if _, ok := ts.Type.(*ast.StructType); !ok {
+					continue
+				}
+				if pass.Pkg == nil {
+					continue
+				}
+				obj := pass.Pkg.Scope().Lookup(name)
+				if obj == nil {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				has := false
+				for i := 0; i < named.NumMethods(); i++ {
+					if named.Method(i).Name() == "Validate" {
+						has = true
+						break
+					}
+				}
+				if !has {
+					pass.Reportf(ts.Pos(), "exported option struct %s has no Validate method; follow the validated-options pattern (private fill for defaults, Validate for structural checks)", name)
+				}
 			}
-			if strings.HasPrefix(path, ModulePath+"/internal/lint") {
-				continue
-			}
-			pass.Reportf(imp.Pos(), "%s imports %s; commands and examples must go through the public hios facade", pass.Path, path)
 		}
 	}
 	return nil

@@ -1,0 +1,39 @@
+// Package fixture exercises the pubapi options rule: exported structs
+// named Options or *Options need a Validate method; aliases, unexported
+// types and differently named structs do not.
+package fixture
+
+// BadOptions lacks Validate entirely.
+type BadOptions struct{ N int } // want `exported option struct BadOptions has no Validate method`
+
+// Options (the bare name) is held to the same rule.
+type Options struct{ GPUs int } // want `exported option struct Options has no Validate method`
+
+// GoodOptions follows the pattern with a value receiver.
+type GoodOptions struct{ N int }
+
+// Validate reports nothing; the method's existence is what the rule
+// checks.
+func (GoodOptions) Validate() error { return nil }
+
+// PtrOptions follows the pattern with a pointer receiver.
+type PtrOptions struct{ N int }
+
+// Validate reports nothing.
+func (*PtrOptions) Validate() error { return nil }
+
+// unexportedOptions is not part of the public surface.
+type unexportedOptions struct{ N int }
+
+// use silences the unused-type vet heuristics for unexportedOptions.
+var _ = unexportedOptions{}
+
+// AliasOptions re-exports GoodOptions; the definition owns the method.
+type AliasOptions = GoodOptions
+
+// OptionsHolder is not an options struct: the suffix rule matches names
+// ending in Options, not names merely containing it.
+type OptionsHolder struct{ O Options }
+
+// NotAStructOptions is not a struct; config scalars are out of scope.
+type NotAStructOptions int

@@ -45,6 +45,7 @@ var unitflowScope = []string{
 	"internal/gpu", "internal/cost", "internal/profile", "internal/model",
 	"internal/sched", "internal/sim", "internal/pipeline", "internal/trace",
 	"internal/memory", "internal/runtime", "internal/experiments",
+	"internal/serve",
 }
 
 const unitsPkgPath = ModulePath + "/internal/units"

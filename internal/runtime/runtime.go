@@ -47,6 +47,18 @@ func (o *Options) fill() {
 	}
 }
 
+// Validate reports whether the calibration is usable: negative work or
+// delay factors are meaningless (zero selects the defaults).
+func (o Options) Validate() error {
+	if o.WorkPerMs < 0 {
+		return fmt.Errorf("runtime: negative WorkPerMs %d", o.WorkPerMs)
+	}
+	if o.CommDelay < 0 {
+		return fmt.Errorf("runtime: negative CommDelay %v", o.CommDelay)
+	}
+	return nil
+}
+
 // StageSpan records one executed stage's wall-clock interval relative to
 // the start of the run.
 type StageSpan struct {
@@ -106,6 +118,9 @@ func (r *Report) SimTrace() *sim.Trace {
 // deadlock-free; Run verifies this up front with the analytic evaluator so
 // that a bad schedule yields an error instead of hung goroutines.
 func Run(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (*Report, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	opt.fill()
 	if _, err := sched.Evaluate(g, m, s); err != nil {
 		return nil, fmt.Errorf("runtime: refusing to execute: %w", err)

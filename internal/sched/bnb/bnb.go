@@ -46,6 +46,18 @@ type Options struct {
 // best found, not proven optimal.
 var ErrTruncated = fmt.Errorf("bnb: node budget exhausted, result not proven optimal")
 
+// Validate reports whether the options are usable: at least one GPU and
+// a non-negative node budget.
+func (o Options) Validate() error {
+	if o.GPUs < 1 {
+		return fmt.Errorf("bnb: need at least 1 GPU")
+	}
+	if o.MaxNodes < 0 {
+		return fmt.Errorf("bnb: negative node budget %d", o.MaxNodes)
+	}
+	return nil
+}
+
 // Schedule finds the optimal placement of g's operators onto opt.GPUs
 // devices under the priority-order temporal rule.
 func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
@@ -53,8 +65,8 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 	if n > MaxOps {
 		return sched.Result{}, fmt.Errorf("bnb: %d operators exceeds limit %d", n, MaxOps)
 	}
-	if opt.GPUs < 1 {
-		return sched.Result{}, fmt.Errorf("bnb: need at least 1 GPU")
+	if err := opt.Validate(); err != nil {
+		return sched.Result{}, err
 	}
 	if n == 0 {
 		return sched.Result{Schedule: sched.New(opt.GPUs)}, nil

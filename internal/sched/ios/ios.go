@@ -31,6 +31,7 @@
 package ios
 
 import (
+	"fmt"
 	"sort"
 
 	"github.com/shus-lab/hios/internal/cost"
@@ -54,6 +55,15 @@ type Options struct {
 	Beam int
 }
 
+// Validate reports whether the options are usable: every bound must be
+// non-negative (zero selects its documented default).
+func (o Options) Validate() error {
+	if o.MaxStage < 0 || o.PruneWindow < 0 || o.ExactLimit < 0 || o.Beam < 0 {
+		return fmt.Errorf("ios: negative pruning bound: %+v", o)
+	}
+	return nil
+}
+
 func (o *Options) fill() {
 	if o.MaxStage == 0 {
 		o.MaxStage = 8
@@ -72,6 +82,9 @@ func (o *Options) fill() {
 // Schedule runs IOS on g under cost model m and returns the single-GPU
 // stage decomposition with its latency.
 func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
+	if err := opt.Validate(); err != nil {
+		return sched.Result{}, err
+	}
 	opt.fill()
 	n := g.NumOps()
 	s := sched.New(1)

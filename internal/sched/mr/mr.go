@@ -40,10 +40,22 @@ type Options struct {
 	InterOnly bool
 }
 
+// Validate reports whether the options are usable: at least one GPU and
+// a non-negative window.
+func (o Options) Validate() error {
+	if o.GPUs < 1 {
+		return fmt.Errorf("mr: need at least 1 GPU, got %d", o.GPUs)
+	}
+	if o.Window < 0 {
+		return fmt.Errorf("mr: negative window %d", o.Window)
+	}
+	return nil
+}
+
 // Schedule runs HIOS-MR on g under cost model m.
 func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
-	if opt.GPUs < 1 {
-		return sched.Result{}, fmt.Errorf("mr: need at least 1 GPU, got %d", opt.GPUs)
+	if err := opt.Validate(); err != nil {
+		return sched.Result{}, err
 	}
 	w := opt.Window
 	if w == 0 {

@@ -29,6 +29,18 @@ type Options struct {
 	Window int
 }
 
+// Validate reports whether the options are usable: non-negative move
+// budget and window (zero selects the defaults).
+func (o Options) Validate() error {
+	if o.MaxMoves < 0 {
+		return fmt.Errorf("refine: negative move budget %d", o.MaxMoves)
+	}
+	if o.Window < 0 {
+		return fmt.Errorf("refine: negative window %d", o.Window)
+	}
+	return nil
+}
+
 // Result extends sched.Result with search statistics.
 type Result struct {
 	sched.Result
@@ -43,6 +55,9 @@ type Result struct {
 // input are dissolved back to singletons for the placement search (the
 // optional Window pass rebuilds groups afterwards).
 func Improve(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
 	if err := sched.Validate(g, s); err != nil {
 		return Result{}, fmt.Errorf("refine: %w", err)
 	}

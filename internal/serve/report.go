@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/shus-lab/hios/internal/stats"
+	"github.com/shus-lab/hios/internal/units"
+)
+
+// Report summarizes one serving simulation: SLO attainment, goodput,
+// tail latency, per-tenant breakdown, per-GPU utilization and the
+// queue-depth timeline. All slices are in deterministic order.
+type Report struct {
+	// Policy is the dispatch discipline that produced this report.
+	Policy Policy
+	// Horizon is the (filled) arrival window; Makespan is when the last
+	// event fired — the drain time of everything admitted before the
+	// horizon.
+	Horizon  units.Millis
+	Makespan units.Millis
+	// Offered counts every request that arrived; Completed the ones
+	// that ran to completion; SLOMet the completions within deadline;
+	// Shed the ones dropped by admission control.
+	Offered   int
+	Completed int
+	SLOMet    int
+	Shed      int
+	// Attainment is SLOMet/Offered (1 when nothing was offered):
+	// the fraction of offered load served within its SLO.
+	Attainment float64
+	// GoodputPerSec is deadline-meeting completions per second of
+	// makespan.
+	GoodputPerSec float64
+	// P50/P95/P99/Max summarize the response-time distribution
+	// (arrival to completion) over completed requests.
+	P50, P95, P99, Max units.Millis
+	// Tenants breaks the same counters down per tenant, in Options
+	// order.
+	Tenants []TenantReport
+	// GPUs reports utilization per (model, replica, GPU), in model
+	// order then replica order then GPU order.
+	GPUs []GPUUtil
+	// Queue is the total queued-request depth over time: one point per
+	// instant the depth changed.
+	Queue []QueuePoint
+	// Requests holds every request's fate when Options.RecordRequests
+	// was set (in global arrival-event order), nil otherwise.
+	Requests []RequestOutcome
+}
+
+// TenantReport is one tenant's slice of the serving report.
+type TenantReport struct {
+	Name          string
+	Model         int
+	Offered       int
+	Completed     int
+	SLOMet        int
+	Shed          int
+	Attainment    float64
+	P50, P95, P99 units.Millis
+}
+
+// GPUUtil is the utilization of one GPU of one pipeline replica.
+type GPUUtil struct {
+	// Model names the deployment; Replica and GPU index within it.
+	Model   string
+	Replica int
+	GPU     int
+	// Starts is how many requests this replica admitted; Busy the total
+	// busy time this GPU accumulated across them; Util is Busy over the
+	// report makespan.
+	Starts int
+	Busy   units.Millis
+	Util   float64
+}
+
+// QueuePoint is one step of the queue-depth timeline.
+type QueuePoint struct {
+	T     units.Millis
+	Depth int
+}
+
+// RequestOutcome is one request's fate, recorded when
+// Options.RecordRequests is set.
+type RequestOutcome struct {
+	// Tenant and Index identify the request (Index is the tenant's
+	// issue order).
+	Tenant int
+	Index  int
+	// Arrive and Deadline are absolute times; Finish is completion (or
+	// shed) time.
+	Arrive   units.Millis
+	Deadline units.Millis
+	Finish   units.Millis
+	// Completed is false for shed requests; Met reports Finish <=
+	// Deadline for completed ones.
+	Completed bool
+	Met       bool
+}
+
+// report assembles the Report from the drained engine state.
+func (e *engine) report(makespan units.Millis) *Report {
+	r := &Report{
+		Policy:   e.o.Policy,
+		Horizon:  e.o.Horizon,
+		Makespan: makespan,
+		Tenants:  make([]TenantReport, len(e.o.Tenants)),
+		Queue:    e.points,
+	}
+	for ti, t := range e.o.Tenants {
+		r.Tenants[ti] = TenantReport{Name: t.Name, Model: t.Model}
+	}
+
+	var all []float64
+	per := make([][]float64, len(e.o.Tenants))
+	for i := range e.reqs {
+		req := &e.reqs[i]
+		tr := &r.Tenants[req.tenant]
+		r.Offered++
+		tr.Offered++
+		met := false
+		switch req.state {
+		case stShed:
+			r.Shed++
+			tr.Shed++
+		case stDone:
+			r.Completed++
+			tr.Completed++
+			met = req.finish <= req.deadline
+			if met {
+				r.SLOMet++
+				tr.SLOMet++
+			}
+			resp := float64(req.finish - req.arrive)
+			all = append(all, resp)
+			per[req.tenant] = append(per[req.tenant], resp)
+		}
+		if e.o.RecordRequests {
+			r.Requests = append(r.Requests, RequestOutcome{
+				Tenant:    req.tenant,
+				Index:     req.index,
+				Arrive:    req.arrive,
+				Deadline:  req.deadline,
+				Finish:    req.finish,
+				Completed: req.state == stDone,
+				Met:       met,
+			})
+		}
+	}
+
+	r.Attainment = attainment(r.SLOMet, r.Offered)
+	if makespan > 0 {
+		r.GoodputPerSec = float64(r.SLOMet) * 1e3 / float64(makespan)
+	}
+	sort.Float64s(all)
+	r.P50 = units.Millis(stats.Percentile(all, 50))
+	r.P95 = units.Millis(stats.Percentile(all, 95))
+	r.P99 = units.Millis(stats.Percentile(all, 99))
+	r.Max = units.Millis(stats.Max(all))
+	if len(all) == 0 {
+		r.Max = 0
+	}
+	for ti := range r.Tenants {
+		tr := &r.Tenants[ti]
+		tr.Attainment = attainment(tr.SLOMet, tr.Offered)
+		sort.Float64s(per[ti])
+		tr.P50 = units.Millis(stats.Percentile(per[ti], 50))
+		tr.P95 = units.Millis(stats.Percentile(per[ti], 95))
+		tr.P99 = units.Millis(stats.Percentile(per[ti], 99))
+	}
+
+	for mi := range e.o.Models {
+		m := &e.o.Models[mi]
+		for rep := 0; rep < m.Replicas; rep++ {
+			starts := e.starts[mi][rep]
+			for g := range m.GPUBusy {
+				busy := m.GPUBusy[g].Scale(float64(starts))
+				util := 0.0
+				if makespan > 0 {
+					util = busy.Ratio(makespan)
+				}
+				r.GPUs = append(r.GPUs, GPUUtil{
+					Model:   m.Name,
+					Replica: rep,
+					GPU:     g,
+					Starts:  starts,
+					Busy:    busy,
+					Util:    util,
+				})
+			}
+		}
+	}
+	return r
+}
+
+func attainment(met, offered int) float64 {
+	if offered == 0 {
+		return 1
+	}
+	return float64(met) / float64(offered)
+}
+
+// Render writes a human-readable summary. The output is deterministic
+// for a given Report.
+func (r *Report) Render(w io.Writer) error {
+	pf := func(format string, args ...any) (err error) {
+		_, err = fmt.Fprintf(w, format, args...)
+		return
+	}
+	if err := pf("policy %s  horizon %.2f ms  makespan %.2f ms\n",
+		r.Policy, float64(r.Horizon), float64(r.Makespan)); err != nil {
+		return err
+	}
+	if err := pf("offered %d  completed %d  slo-met %d  shed %d  attainment %.4f  goodput %.2f req/s\n",
+		r.Offered, r.Completed, r.SLOMet, r.Shed, r.Attainment, r.GoodputPerSec); err != nil {
+		return err
+	}
+	if err := pf("latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  max %.3f ms\n",
+		float64(r.P50), float64(r.P95), float64(r.P99), float64(r.Max)); err != nil {
+		return err
+	}
+	for _, t := range r.Tenants {
+		if err := pf("tenant %-12s model %d  offered %4d  met %4d  shed %4d  attainment %.4f  p99 %.3f ms\n",
+			t.Name, t.Model, t.Offered, t.SLOMet, t.Shed, t.Attainment, float64(t.P99)); err != nil {
+			return err
+		}
+	}
+	for _, g := range r.GPUs {
+		if err := pf("gpu %s/r%d/g%d  starts %4d  busy %.2f ms  util %.3f\n",
+			g.Model, g.Replica, g.GPU, g.Starts, float64(g.Busy), g.Util); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteQueue streams the queue-depth timeline as two-column CSV
+// (time_ms,depth), suitable for plotting.
+func (r *Report) WriteQueue(w io.Writer) error {
+	if _, err := io.WriteString(w, "time_ms,depth\n"); err != nil {
+		return err
+	}
+	for _, p := range r.Queue {
+		if _, err := fmt.Fprintf(w, "%.6f,%d\n", float64(p.T), p.Depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}

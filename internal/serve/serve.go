@@ -1,0 +1,541 @@
+// Package serve is the online serving layer of the HIOS reproduction: a
+// deterministic discrete-event simulator of a multi-tenant model-serving
+// deployment built on top of the offline scheduling core.
+//
+// The paper answers an offline question — one request, one schedule, one
+// latency. A production deployment answers an online one: requests for
+// one or more models arrive continuously, each with a relative deadline,
+// and a dispatcher decides which queued request the next free pipeline
+// replica runs (and, under admission control, which requests to shed).
+// This package simulates exactly that. A deployed Model is characterized
+// by the two numbers the pipeline analysis derives from a schedule — the
+// single-request latency L and the steady-state admission period P — so
+// scheduler quality (lower L, lower P) is directly visible as serving
+// capacity and SLO attainment.
+//
+// The simulator obeys the repository's determinism contract (DESIGN.md
+// §7 and §9): no wall clock, no global RNG; every stochastic arrival
+// process draws from a *rand.Rand seeded from Options.Seed, events are
+// totally ordered by (time, sequence number), and all report slices are
+// emitted in deterministic order, so the same Options yield a
+// byte-identical Report rendering on every run.
+package serve
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/pipeline"
+	"github.com/shus-lab/hios/internal/sched"
+	"github.com/shus-lab/hios/internal/units"
+)
+
+// Policy selects the dispatch discipline of the serving queue.
+type Policy string
+
+const (
+	// FIFO serves requests strictly in arrival order.
+	FIFO Policy = "fifo"
+	// EDF serves the queued request with the earliest absolute deadline
+	// first (ties broken by arrival order).
+	EDF Policy = "edf"
+	// EDFShed is EDF with shed-on-hopeless admission control: a request
+	// is dropped at dispatch time when even an immediate start provably
+	// misses its deadline (now + L > arrival + deadline), so capacity is
+	// never spent on a certain miss.
+	EDFShed Policy = "edf-shed"
+)
+
+// Policies lists every implemented dispatch policy.
+func Policies() []Policy { return []Policy{FIFO, EDF, EDFShed} }
+
+// Sentinel errors of Options.Validate, all errors.Is-matchable.
+var (
+	// ErrNoModels reports an Options with an empty Models list.
+	ErrNoModels = errors.New("serve: no models deployed")
+	// ErrNoTenants reports an Options with an empty Tenants list.
+	ErrNoTenants = errors.New("serve: no tenants")
+	// ErrUnknownPolicy reports an unrecognized Policy value.
+	ErrUnknownPolicy = errors.New("serve: unknown policy")
+	// ErrBadModel reports a Model with nonpositive latency or period, a
+	// period exceeding its latency, or a negative replica count.
+	ErrBadModel = errors.New("serve: bad model")
+	// ErrBadTenant reports a Tenant with an out-of-range model index, a
+	// nonpositive deadline, or an arrival process that is neither purely
+	// open-loop (Rate > 0) nor purely closed-loop (Clients > 0).
+	ErrBadTenant = errors.New("serve: bad tenant")
+	// ErrBadHorizon reports a negative arrival horizon.
+	ErrBadHorizon = errors.New("serve: bad horizon")
+)
+
+// Model is one deployed model: a set of identical pipeline replicas,
+// each executing the same multi-GPU schedule. Latency and Period come
+// from the pipeline analysis of that schedule (NewModel); GPUBusy is the
+// per-GPU busy time one request adds to a replica, used for utilization
+// accounting.
+type Model struct {
+	// Name labels the deployment in reports.
+	Name string
+	// Replicas is the number of identical pipeline replicas. Zero
+	// selects 1.
+	Replicas int
+	// Latency is the single-request completion time on an idle replica.
+	Latency units.Millis
+	// Period is the steady-state admission interval: a replica accepts
+	// a new request every Period while earlier ones drain through its
+	// pipeline. Period <= Latency; equality means no pipelining.
+	Period units.Millis
+	// GPUBusy is the busy time one request adds to each of a replica's
+	// GPUs (may be empty when utilization accounting is not needed).
+	GPUBusy []units.Millis
+}
+
+// NewModel derives a deployment Model from a schedule: Latency and
+// Period from the pipeline unrolling analysis (8 back-to-back requests,
+// enough for the period to settle), GPUBusy from the evaluated timing.
+// Replicas starts at 1; callers scale it to their GPU budget.
+func NewModel(name string, g *graph.Graph, m cost.Model, s *sched.Schedule) (Model, error) {
+	rep, err := pipeline.Analyze(g, m, s, 8)
+	if err != nil {
+		return Model{}, fmt.Errorf("serve: %w", err)
+	}
+	tm, err := sched.Evaluate(g, m, s)
+	if err != nil {
+		return Model{}, fmt.Errorf("serve: %w", err)
+	}
+	busy := make([]units.Millis, len(s.GPUs))
+	for gi := range s.GPUs {
+		for j := range s.GPUs[gi].Stages {
+			busy[gi] += tm.StageFinish[gi][j] - tm.StageStart[gi][j]
+		}
+	}
+	period := rep.SteadyPeriodMs
+	if period <= 0 || period > rep.LatencyMs {
+		period = rep.LatencyMs
+	}
+	return Model{
+		Name:     name,
+		Replicas: 1,
+		Latency:  rep.LatencyMs,
+		Period:   period,
+		GPUBusy:  busy,
+	}, nil
+}
+
+// Capacity returns the deployment's maximum sustainable throughput in
+// requests per second: Replicas admissions every Period.
+func (m Model) Capacity() float64 {
+	if m.Period <= 0 {
+		return 0
+	}
+	r := m.Replicas
+	if r <= 0 {
+		r = 1
+	}
+	return float64(r) * 1e3 / float64(m.Period)
+}
+
+// Tenant is one request class sharing the deployment: an arrival process
+// plus a relative deadline (the tenant's SLO). Exactly one of Rate
+// (open-loop) and Clients (closed-loop) must be positive.
+type Tenant struct {
+	// Name labels the tenant in reports.
+	Name string
+	// Model indexes Options.Models: the deployment this tenant's
+	// requests run on.
+	Model int
+	// Deadline is the relative deadline of every request: a request
+	// arriving at t meets its SLO iff it completes by t + Deadline.
+	Deadline units.Millis
+	// Rate, when positive, makes the tenant open-loop: a Poisson
+	// process with this mean arrival rate in requests per second.
+	Rate float64
+	// Clients, when positive, makes the tenant closed-loop: this many
+	// clients, each issuing one request, waiting for its completion (or
+	// shedding), thinking for an exponential time with mean Think, and
+	// issuing again.
+	Clients int
+	// Think is the closed-loop mean think time (0 = reissue
+	// immediately).
+	Think units.Millis
+}
+
+// Options configures one serving simulation. The zero value of every
+// optional field selects a documented default (fill pattern of
+// runtime.Options); Validate reports structurally invalid configurations
+// with errors.Is-matchable sentinels.
+type Options struct {
+	// Models lists the deployed models. Required.
+	Models []Model
+	// Tenants lists the request classes. Required.
+	Tenants []Tenant
+	// Policy is the dispatch discipline. Empty selects FIFO.
+	Policy Policy
+	// Horizon is the arrival window: no request arrives at or after
+	// this time, and the simulation then runs until every admitted
+	// request drains. Zero selects 1000 ms.
+	Horizon units.Millis
+	// Seed seeds the arrival processes. Zero selects 1.
+	Seed int64
+	// RecordRequests additionally populates Report.Requests with every
+	// request's individual fate (tests and debugging; off by default
+	// because it grows with the request count).
+	RecordRequests bool
+}
+
+// fill normalizes the defaulted fields on a private copy. The Models
+// slice is copied before replica defaulting so the caller's values are
+// never mutated.
+func (o *Options) fill() {
+	if o.Policy == "" {
+		o.Policy = FIFO
+	}
+	// Exact zero test: the zero value selects the default.
+	if o.Horizon == 0 { //lint:floatexact
+		o.Horizon = units.Millis(1000)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	models := make([]Model, len(o.Models))
+	copy(models, o.Models)
+	for i := range models {
+		if models[i].Replicas == 0 {
+			models[i].Replicas = 1
+		}
+	}
+	o.Models = models
+}
+
+// Validate checks the configuration, returning the first violation
+// wrapped around one of the sentinel errors above. Zero values with
+// documented defaults (Policy, Horizon, Seed, Model.Replicas) are valid.
+func (o Options) Validate() error {
+	if len(o.Models) == 0 {
+		return ErrNoModels
+	}
+	for i, m := range o.Models {
+		if m.Latency <= 0 || m.Period <= 0 {
+			return fmt.Errorf("%w: model %d (%s) needs positive latency and period", ErrBadModel, i, m.Name)
+		}
+		if m.Period > m.Latency {
+			return fmt.Errorf("%w: model %d (%s) period %g exceeds latency %g", ErrBadModel, i, m.Name, float64(m.Period), float64(m.Latency))
+		}
+		if m.Replicas < 0 {
+			return fmt.Errorf("%w: model %d (%s) has negative replica count %d", ErrBadModel, i, m.Name, m.Replicas)
+		}
+	}
+	if len(o.Tenants) == 0 {
+		return ErrNoTenants
+	}
+	for i, t := range o.Tenants {
+		if t.Model < 0 || t.Model >= len(o.Models) {
+			return fmt.Errorf("%w: tenant %d (%s) references model %d of %d", ErrBadTenant, i, t.Name, t.Model, len(o.Models))
+		}
+		if t.Deadline <= 0 {
+			return fmt.Errorf("%w: tenant %d (%s) needs a positive deadline", ErrBadTenant, i, t.Name)
+		}
+		if t.Rate < 0 || t.Clients < 0 || t.Think < 0 {
+			return fmt.Errorf("%w: tenant %d (%s) has a negative rate, client count or think time", ErrBadTenant, i, t.Name)
+		}
+		open, closed := t.Rate > 0, t.Clients > 0
+		if open == closed {
+			return fmt.Errorf("%w: tenant %d (%s) must be exactly one of open-loop (Rate > 0) or closed-loop (Clients > 0)", ErrBadTenant, i, t.Name)
+		}
+	}
+	switch o.Policy {
+	case "", FIFO, EDF, EDFShed:
+	default:
+		return fmt.Errorf("%w %q (want one of %v)", ErrUnknownPolicy, string(o.Policy), Policies())
+	}
+	if o.Horizon < 0 {
+		return fmt.Errorf("%w: %g ms", ErrBadHorizon, float64(o.Horizon))
+	}
+	return nil
+}
+
+// Request lifecycle states.
+const (
+	stQueued = iota
+	stRunning
+	stDone
+	stShed
+)
+
+// request is one in-flight inference request.
+type request struct {
+	tenant   int
+	index    int // per-tenant issue order
+	client   int // closed-loop client index, -1 for open-loop
+	arrive   units.Millis
+	deadline units.Millis // absolute: arrive + tenant deadline
+	finish   units.Millis
+	qseq     int // global enqueue order, the FIFO key and EDF tie-break
+	state    int
+}
+
+// Event kinds, in no particular priority: simultaneous events execute in
+// push order via the sequence number.
+const (
+	evArrive = iota // a request joins its model's queue
+	evFree          // a replica admits its next request
+	evDone          // a request completes
+)
+
+type event struct {
+	at      units.Millis
+	seq     int
+	kind    int
+	req     int // evArrive, evDone
+	model   int // evFree
+	replica int // evFree
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	// Exact IEEE inequality keeps the order strict-weak; ties fall
+	// through to the deterministic sequence number (cf. sim.eventHeap).
+	if h[i].at != h[j].at { //lint:floatexact
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// intHeap is a min-heap of ints (idle replica indices).
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// reqQueue is one model's pending-request queue, ordered by the dispatch
+// policy: enqueue order under FIFO, (absolute deadline, enqueue order)
+// under EDF and EDFShed.
+type reqQueue struct {
+	byDeadline bool
+	reqs       *[]request
+	items      []int
+}
+
+func (q *reqQueue) Len() int { return len(q.items) }
+func (q *reqQueue) Less(i, j int) bool {
+	a, b := &(*q.reqs)[q.items[i]], &(*q.reqs)[q.items[j]]
+	if q.byDeadline {
+		// Exact IEEE inequality; equal deadlines fall through to the
+		// deterministic enqueue order.
+		if a.deadline != b.deadline { //lint:floatexact
+			return a.deadline < b.deadline
+		}
+	}
+	return a.qseq < b.qseq
+}
+func (q *reqQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *reqQueue) Push(x any)    { q.items = append(q.items, x.(int)) }
+func (q *reqQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	x := old[n-1]
+	q.items = old[:n-1]
+	return x
+}
+
+// engine is the running simulation state.
+type engine struct {
+	o      Options
+	reqs   []request
+	issued []int // per-tenant issue counter
+	queues []*reqQueue
+	idle   []*intHeap
+	starts [][]int // starts[model][replica]
+	events eventHeap
+	seq    int // event sequence counter
+	qseq   int // enqueue sequence counter
+	depth  int // total queued requests across models
+	points []QueuePoint
+	rngs   []*rand.Rand
+}
+
+// mixSeed derives tenant i's RNG seed from the top-level seed with a
+// splitmix64 step, so adjacent seeds yield unrelated streams.
+func mixSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+func (e *engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// newRequest creates a request arriving at the given time and schedules
+// its arrival event.
+func (e *engine) newRequest(tenant, client int, at units.Millis) {
+	t := &e.o.Tenants[tenant]
+	ri := len(e.reqs)
+	e.reqs = append(e.reqs, request{
+		tenant:   tenant,
+		index:    e.issued[tenant],
+		client:   client,
+		arrive:   at,
+		deadline: at + t.Deadline,
+		state:    stQueued,
+	})
+	e.issued[tenant]++
+	e.push(event{at: at, kind: evArrive, req: ri})
+}
+
+// expMillis draws an exponential duration with the given mean.
+func expMillis(rng *rand.Rand, mean units.Millis) units.Millis {
+	return mean.Scale(rng.ExpFloat64())
+}
+
+// reissue puts a closed-loop client back into think state after its
+// request finished (completed or was shed) at the given time.
+func (e *engine) reissue(tenant, client int, now units.Millis) {
+	if client < 0 {
+		return
+	}
+	t := &e.o.Tenants[tenant]
+	next := now + expMillis(e.rngs[tenant], t.Think)
+	if next < e.o.Horizon {
+		e.newRequest(tenant, client, next)
+	}
+}
+
+// dispatch matches idle replicas of model mi with queued requests at
+// time now, shedding hopeless requests first under EDFShed.
+func (e *engine) dispatch(mi int, now units.Millis) {
+	q, idle := e.queues[mi], e.idle[mi]
+	m := &e.o.Models[mi]
+	for idle.Len() > 0 && q.Len() > 0 {
+		ri := heap.Pop(q).(int)
+		r := &e.reqs[ri]
+		e.depth--
+		if e.o.Policy == EDFShed && now+m.Latency > r.deadline {
+			// Provably hopeless: even starting this instant misses the
+			// deadline. Shed without consuming the replica.
+			r.state = stShed
+			r.finish = now
+			e.reissue(r.tenant, r.client, now)
+			continue
+		}
+		rep := heap.Pop(idle).(int)
+		r.state = stRunning
+		e.starts[mi][rep]++
+		e.push(event{at: now + m.Latency, kind: evDone, req: ri})
+		e.push(event{at: now + m.Period, kind: evFree, model: mi, replica: rep})
+	}
+}
+
+// recordDepth appends a queue-depth change point at time now, coalescing
+// multiple changes at the same instant into the final value.
+func (e *engine) recordDepth(now units.Millis) {
+	if n := len(e.points); n > 0 {
+		if e.points[n-1].Depth == e.depth {
+			return
+		}
+		// Exact IEEE equality: same event timestamp, not a tolerance.
+		if e.points[n-1].T == now { //lint:floatexact
+			e.points[n-1].Depth = e.depth
+			return
+		}
+	} else if e.depth == 0 {
+		return
+	}
+	e.points = append(e.points, QueuePoint{T: now, Depth: e.depth})
+}
+
+// Run simulates the deployment described by opt and returns its serving
+// report. The same Options always produce the same Report.
+func Run(opt Options) (*Report, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	opt.fill()
+
+	e := &engine{
+		o:      opt,
+		issued: make([]int, len(opt.Tenants)),
+		queues: make([]*reqQueue, len(opt.Models)),
+		idle:   make([]*intHeap, len(opt.Models)),
+		starts: make([][]int, len(opt.Models)),
+		rngs:   make([]*rand.Rand, len(opt.Tenants)),
+	}
+	for mi, m := range opt.Models {
+		e.queues[mi] = &reqQueue{byDeadline: opt.Policy != FIFO, reqs: &e.reqs}
+		ih := make(intHeap, m.Replicas)
+		for r := range ih {
+			ih[r] = r
+		}
+		e.idle[mi] = &ih
+		e.starts[mi] = make([]int, m.Replicas)
+	}
+	for ti, t := range opt.Tenants {
+		e.rngs[ti] = rand.New(rand.NewSource(mixSeed(opt.Seed, ti)))
+		if t.Rate > 0 {
+			// Open-loop: pre-draw the whole Poisson arrival sequence.
+			mean := units.Millis(1e3 / t.Rate)
+			at := expMillis(e.rngs[ti], mean)
+			for at < opt.Horizon {
+				e.newRequest(ti, -1, at)
+				at += expMillis(e.rngs[ti], mean)
+			}
+		} else {
+			// Closed-loop: every client starts in think state.
+			for c := 0; c < t.Clients; c++ {
+				at := expMillis(e.rngs[ti], t.Think)
+				if at < opt.Horizon {
+					e.newRequest(ti, c, at)
+				}
+			}
+		}
+	}
+
+	var makespan units.Millis
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		now := ev.at
+		if now > makespan {
+			makespan = now
+		}
+		switch ev.kind {
+		case evArrive:
+			r := &e.reqs[ev.req]
+			r.qseq = e.qseq
+			e.qseq++
+			mi := e.o.Tenants[r.tenant].Model
+			heap.Push(e.queues[mi], ev.req)
+			e.depth++
+			e.dispatch(mi, now)
+		case evFree:
+			heap.Push(e.idle[ev.model], ev.replica)
+			e.dispatch(ev.model, now)
+		case evDone:
+			r := &e.reqs[ev.req]
+			r.state = stDone
+			r.finish = now
+			e.reissue(r.tenant, r.client, now)
+		}
+		e.recordDepth(now)
+	}
+	for i := range e.reqs {
+		if st := e.reqs[i].state; st != stDone && st != stShed {
+			return nil, fmt.Errorf("serve: internal error: request %d ended in state %d", i, st)
+		}
+	}
+	return e.report(makespan), nil
+}

@@ -88,6 +88,12 @@ type Options struct {
 	SerializeLinks bool
 }
 
+// Validate reports whether the options are usable. Every Options value
+// is currently valid — the method exists so the simulator follows the
+// repository's validated-options pattern (pubapi lint) and gains checks
+// compatibly if fields grow.
+func (o Options) Validate() error { return nil }
+
 // Run simulates schedule s for graph g under cost model m with default
 // options: contention-free links, matching the analytic evaluator.
 func Run(g *graph.Graph, m cost.Model, s *sched.Schedule) (*Trace, error) {

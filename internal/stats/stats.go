@@ -87,6 +87,33 @@ func ApproxEqual(a, b, eps float64) bool {
 	return diff <= eps*scale
 }
 
+// Percentile returns the p-th percentile of a slice that is already
+// sorted ascending, using the nearest-rank definition: the smallest
+// element such that at least p percent of the data is <= it. p <= 0
+// selects the first element, p >= 100 the last; an empty slice yields 0.
+// Nearest-rank (rather than interpolation) keeps the result an actual
+// observation, which is what tail-latency reporting wants.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
 // Speedup returns base/x: how many times faster x is than base.
 // It returns 0 when x is 0.
 func Speedup(base, x float64) float64 {

@@ -2,20 +2,22 @@ package trace
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/sched"
 )
 
-// DOT renders the computation graph in Graphviz format. When a schedule is
-// supplied (s may be nil), operators are clustered by GPU and stage
-// members share a fill color, which makes placement decisions visible at a
-// glance with `dot -Tsvg`.
-func DOT(g *graph.Graph, s *sched.Schedule) string {
-	var b strings.Builder
-	b.WriteString("digraph hios {\n")
-	b.WriteString("  rankdir=TB;\n  node [shape=box, style=filled, fillcolor=white, fontsize=10];\n")
+// WriteDOT streams the computation graph in Graphviz format to w. When a
+// schedule is supplied (s may be nil), operators are clustered by GPU
+// and stage members share a fill color, which makes placement decisions
+// visible at a glance with `dot -Tsvg`. It is the primitive behind DOT;
+// use it to write large graphs straight to a file or pipe.
+func WriteDOT(w io.Writer, g *graph.Graph, s *sched.Schedule) error {
+	ew := &errWriter{w: w}
+	io.WriteString(ew, "digraph hios {\n")
+	io.WriteString(ew, "  rankdir=TB;\n  node [shape=box, style=filled, fillcolor=white, fontsize=10];\n")
 
 	// Stage colors cycle through a small palette.
 	palette := []string{"#cfe8ff", "#ffe3cf", "#d8f5d0", "#f3d1f4", "#fff3b0", "#d0f0f5"}
@@ -26,31 +28,40 @@ func DOT(g *graph.Graph, s *sched.Schedule) string {
 			if len(s.GPUs[gi].Stages) == 0 {
 				continue
 			}
-			fmt.Fprintf(&b, "  subgraph cluster_gpu%d {\n    label=\"GPU %d\";\n    color=gray;\n", gi, gi)
+			fmt.Fprintf(ew, "  subgraph cluster_gpu%d {\n    label=\"GPU %d\";\n    color=gray;\n", gi, gi)
 			for v := 0; v < g.NumOps(); v++ {
 				if gpuOf[v] != gi {
 					continue
 				}
 				color := palette[stageOf[v]%len(palette)]
-				fmt.Fprintf(&b, "    n%d [label=%q, fillcolor=%q];\n", v, nodeLabel(g, graph.OpID(v)), color)
+				fmt.Fprintf(ew, "    n%d [label=%q, fillcolor=%q];\n", v, nodeLabel(g, graph.OpID(v)), color)
 			}
-			b.WriteString("  }\n")
+			io.WriteString(ew, "  }\n")
 		}
 		// Unscheduled operators (partial schedules) go outside.
 		for v := 0; v < g.NumOps(); v++ {
 			if gpuOf[v] < 0 {
-				fmt.Fprintf(&b, "  n%d [label=%q];\n", v, nodeLabel(g, graph.OpID(v)))
+				fmt.Fprintf(ew, "  n%d [label=%q];\n", v, nodeLabel(g, graph.OpID(v)))
 			}
 		}
 	} else {
 		for v := 0; v < g.NumOps(); v++ {
-			fmt.Fprintf(&b, "  n%d [label=%q];\n", v, nodeLabel(g, graph.OpID(v)))
+			fmt.Fprintf(ew, "  n%d [label=%q];\n", v, nodeLabel(g, graph.OpID(v)))
 		}
 	}
 	for _, e := range g.Edges() {
-		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.3g\", fontsize=8];\n", e.From, e.To, e.Time)
+		fmt.Fprintf(ew, "  n%d -> n%d [label=\"%.3g\", fontsize=8];\n", e.From, e.To, e.Time)
 	}
-	b.WriteString("}\n")
+	io.WriteString(ew, "}\n")
+	return ew.err
+}
+
+// DOT renders the computation graph in Graphviz format as a string; it
+// delegates to WriteDOT.
+func DOT(g *graph.Graph, s *sched.Schedule) string {
+	var b strings.Builder
+	// strings.Builder never returns a write error.
+	_ = WriteDOT(&b, g, s)
 	return b.String()
 }
 

@@ -2,14 +2,15 @@ package trace
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/sim"
 )
 
-// Gantt renders a simulated execution as a fixed-width text Gantt chart,
-// one row per GPU, suitable for terminals and logs:
+// WriteGantt streams a simulated execution as a fixed-width text Gantt
+// chart, one row per GPU, suitable for terminals and logs:
 //
 //	GPU0 |aaaa..bbbbbbbb----cc|
 //	GPU1 |..ddddddddeeee......|
@@ -18,12 +19,16 @@ import (
 // appearance); '.' is idle time; '-' marks time where the GPU is stalled
 // waiting on a transfer or dependency after having run at least one
 // stage. width is the number of columns for the time axis (minimum 20).
-func Gantt(g *graph.Graph, tr *sim.Trace, width int) string {
+// It is the primitive behind Gantt; use it to stream charts without
+// building intermediate strings.
+func WriteGantt(w io.Writer, g *graph.Graph, tr *sim.Trace, width int) error {
 	if width < 20 {
 		width = 20
 	}
+	ew := &errWriter{w: w}
 	if tr.Latency <= 0 || len(tr.Stages) == 0 {
-		return "(empty trace)\n"
+		io.WriteString(ew, "(empty trace)\n")
+		return ew.err
 	}
 	// Rows are GPUs; find how many.
 	maxGPU := 0
@@ -85,11 +90,19 @@ func Gantt(g *graph.Graph, tr *sim.Trace, width int) string {
 			}
 		}
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "0 ms %s %.3f ms\n", strings.Repeat(" ", width-4), tr.Latency)
+	fmt.Fprintf(ew, "0 ms %s %.3f ms\n", strings.Repeat(" ", width-4), tr.Latency)
 	for gpu, row := range rows {
-		fmt.Fprintf(&b, "GPU%-2d |%s|\n", gpu, row)
+		fmt.Fprintf(ew, "GPU%-2d |%s|\n", gpu, row)
 	}
-	b.WriteString(legend.String())
+	io.WriteString(ew, legend.String())
+	return ew.err
+}
+
+// Gantt renders a simulated execution as a fixed-width text Gantt chart
+// as a string; it delegates to WriteGantt.
+func Gantt(g *graph.Graph, tr *sim.Trace, width int) string {
+	var b strings.Builder
+	// strings.Builder never returns a write error.
+	_ = WriteGantt(&b, g, tr, width)
 	return b.String()
 }

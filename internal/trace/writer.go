@@ -1,0 +1,20 @@
+package trace
+
+import "io"
+
+// errWriter latches the first write error so rendering code can emit a
+// long sequence of fmt.Fprintf calls and check once at the end — the
+// standard sticky-error idiom for io.Writer-shaped export APIs.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}

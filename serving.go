@@ -1,0 +1,93 @@
+package hios
+
+import (
+	"github.com/shus-lab/hios/internal/experiments"
+	"github.com/shus-lab/hios/internal/serve"
+)
+
+// This file extends the facade to the online serving layer (DESIGN.md
+// §9): a deterministic discrete-event simulator of a deadline-aware,
+// multi-tenant model-serving deployment built on the offline scheduling
+// core. cmd/hios-serve is an ordinary client of exactly this surface.
+
+type (
+	// ServeOptions configures one serving simulation: deployed models,
+	// tenants, dispatch policy, arrival horizon and seed. It follows
+	// the validated-options pattern — zero values select documented
+	// defaults and Validate reports violations with errors.Is-matchable
+	// sentinels.
+	ServeOptions = serve.Options
+	// ServeReport is the outcome of a serving simulation: attainment,
+	// goodput, tail latencies, per-tenant and per-GPU breakdowns and
+	// the queue-depth timeline.
+	ServeReport = serve.Report
+	// ServeModel is one deployed model: pipeline replicas characterized
+	// by the latency and steady-state period of a schedule.
+	ServeModel = serve.Model
+	// ServeTenant is one request class: an arrival process (open-loop
+	// Poisson rate or closed-loop clients) plus a relative deadline.
+	ServeTenant = serve.Tenant
+	// ServePolicy selects the dispatch discipline.
+	ServePolicy = serve.Policy
+	// ServeTenantReport is one tenant's slice of a ServeReport.
+	ServeTenantReport = serve.TenantReport
+	// ServeGPUUtil is the utilization of one GPU of one replica.
+	ServeGPUUtil = serve.GPUUtil
+	// ServeQueuePoint is one step of the queue-depth timeline.
+	ServeQueuePoint = serve.QueuePoint
+	// ServeRequestOutcome is one request's fate, recorded when
+	// ServeOptions.RecordRequests is set.
+	ServeRequestOutcome = serve.RequestOutcome
+	// ServeSweepOptions parameterizes AttainmentVsLoad.
+	ServeSweepOptions = experiments.ServeSweepOptions
+)
+
+// The implemented dispatch policies.
+const (
+	// ServeFIFO serves requests in arrival order.
+	ServeFIFO = serve.FIFO
+	// ServeEDF serves the earliest absolute deadline first.
+	ServeEDF = serve.EDF
+	// ServeEDFShed is EDF plus shed-on-hopeless admission control.
+	ServeEDFShed = serve.EDFShed
+)
+
+// ServePolicies lists every implemented dispatch policy.
+func ServePolicies() []ServePolicy { return serve.Policies() }
+
+// Sentinel errors of ServeOptions.Validate, re-exported for errors.Is
+// matching without importing internal paths.
+var (
+	// ErrServeNoModels reports a ServeOptions with no deployed models.
+	ErrServeNoModels = serve.ErrNoModels
+	// ErrServeNoTenants reports a ServeOptions with no tenants.
+	ErrServeNoTenants = serve.ErrNoTenants
+	// ErrServeUnknownPolicy reports an unrecognized ServePolicy.
+	ErrServeUnknownPolicy = serve.ErrUnknownPolicy
+	// ErrServeBadModel reports a structurally invalid ServeModel.
+	ErrServeBadModel = serve.ErrBadModel
+	// ErrServeBadTenant reports a structurally invalid ServeTenant.
+	ErrServeBadTenant = serve.ErrBadTenant
+	// ErrServeBadHorizon reports a negative arrival horizon.
+	ErrServeBadHorizon = serve.ErrBadHorizon
+)
+
+// NewServeModel derives a deployment model from a schedule: latency and
+// admission period from the pipeline unrolling analysis, per-GPU busy
+// time from the evaluated timing. Replicas starts at 1; scale it to the
+// GPU budget before serving.
+func NewServeModel(name string, g *Graph, m CostModel, s *Schedule) (ServeModel, error) {
+	return serve.NewModel(name, g, m, s)
+}
+
+// Serve runs one online serving simulation: seeded stochastic arrivals,
+// deadline-aware dispatch, shedding under the admission-control policy.
+// The same options always produce the same report (DESIGN.md §7, §9).
+func Serve(opt ServeOptions) (*ServeReport, error) { return serve.Run(opt) }
+
+// AttainmentVsLoad sweeps SLO attainment versus offered load for every
+// real-system scheduler × dispatch policy; the resulting figure is
+// byte-identical at any Workers width.
+func AttainmentVsLoad(opt ServeSweepOptions) (Figure, error) {
+	return experiments.AttainmentVsLoad(opt)
+}
