@@ -1,0 +1,271 @@
+// Command hios-benchdiff records and compares benchmark baselines.
+//
+// Record mode parses `go test -bench` output into a BENCH_*.json file
+// (the format of the tracked BENCH_seed.json baseline):
+//
+//	go test -bench=. -benchtime=1x -benchmem ./... | tee bench.txt
+//	hios-benchdiff -record bench.txt -out BENCH_pr.json
+//
+// Diff mode compares two such files by RATIO — ns/op and allocs/op of
+// the new file over the old — because CI runners differ wildly in
+// absolute speed while allocation counts and relative regressions are
+// stable:
+//
+//	hios-benchdiff -old BENCH_seed.json -new BENCH_pr.json
+//
+// The exit status is nonzero when any benchmark present in both files
+// regresses past the thresholds (-max-ns-ratio, -max-allocs-ratio), so
+// a CI job can gate on it; benchmarks present on only one side are
+// reported but never fail the diff.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// modulePrefix is stripped from `pkg:` lines so keys match the tracked
+// baseline's "internal/...Benchmark..." form.
+const modulePrefix = "github.com/shus-lab/hios/"
+
+// entry is one benchmark record. AllocsPerOp is a pointer so benchmarks
+// without -benchmem data round-trip as absent rather than zero.
+type entry struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	Note        string   `json:"note,omitempty"`
+}
+
+// file is the BENCH_*.json layout.
+type file struct {
+	Comment     string           `json:"comment,omitempty"`
+	Environment map[string]any   `json:"environment,omitempty"`
+	Benchmarks  map[string]entry `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		record        = flag.String("record", "", "parse `go test -bench` output from this file (- for stdin) and write a baseline")
+		out           = flag.String("out", "", "output path for -record (default stdout)")
+		oldPath       = flag.String("old", "", "baseline BENCH_*.json (diff mode)")
+		newPath       = flag.String("new", "", "candidate BENCH_*.json (diff mode)")
+		maxNsRatio    = flag.Float64("max-ns-ratio", 1.5, "fail when new/old ns per op exceeds this")
+		maxAllocRatio = flag.Float64("max-allocs-ratio", 1.1, "fail when new/old allocs per op exceeds this")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if err := runRecord(*record, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "hios-benchdiff:", err)
+			os.Exit(2)
+		}
+	case *oldPath != "" && *newPath != "":
+		regressed, err := runDiff(*oldPath, *newPath, *maxNsRatio, *maxAllocRatio)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hios-benchdiff:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: hios-benchdiff -record bench.txt [-out BENCH.json]")
+		fmt.Fprintln(os.Stderr, "       hios-benchdiff -old BENCH_seed.json -new BENCH_pr.json")
+		os.Exit(2)
+	}
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkSchedulerIOS-4   1   342293352 ns/op   4667 allocs/op
+//
+// The first capture is the name (with the optional -N GOMAXPROCS suffix
+// still attached), the rest of the line holds the measurements.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+func runRecord(in, out string) error {
+	var src *os.File
+	if in == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+
+	benches := make(map[string]entry)
+	pkg := ""
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if after, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimPrefix(strings.TrimSpace(after), modulePrefix)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		// Strip the -N GOMAXPROCS suffix so keys are stable across
+		// runner core counts.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e, ok := parseMeasurements(m[2])
+		if !ok {
+			continue
+		}
+		key := name
+		if pkg != "" {
+			key = pkg + "." + name
+		}
+		benches[key] = e
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark results found in %s", in)
+	}
+
+	doc := file{
+		Comment: "Recorded by hios-benchdiff -record; compare against BENCH_seed.json by ratio.",
+		Environment: map[string]any{
+			"go":         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		},
+		Benchmarks: benches,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// parseMeasurements extracts ns/op and allocs/op from the tail of a
+// benchmark line ("342293352 ns/op  196751680 B/op  4667 allocs/op").
+func parseMeasurements(tail string) (entry, bool) {
+	fields := strings.Fields(tail)
+	var e entry
+	seenNs := false
+	for i := 1; i < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i] {
+		case "ns/op":
+			e.NsPerOp = v
+			seenNs = true
+		case "allocs/op":
+			a := v
+			e.AllocsPerOp = &a
+		}
+	}
+	return e, seenNs
+}
+
+func load(path string) (file, error) {
+	var doc file
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Benchmarks == nil {
+		return doc, fmt.Errorf("%s: no \"benchmarks\" object", path)
+	}
+	return doc, nil
+}
+
+func runDiff(oldPath, newPath string, maxNs, maxAllocs float64) (bool, error) {
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		return false, err
+	}
+
+	names := make([]string, 0, len(oldDoc.Benchmarks))
+	for name := range oldDoc.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := false
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-55s %12s %14s\n", "benchmark", "ns ratio", "allocs ratio")
+	for _, name := range names {
+		o := oldDoc.Benchmarks[name]
+		n, ok := newDoc.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "%-55s %12s %14s\n", name, "absent", "absent")
+			continue
+		}
+		nsRatio := ratio(n.NsPerOp, o.NsPerOp)
+		mark := ""
+		if nsRatio > maxNs {
+			mark = "  ** ns regression"
+			regressed = true
+		}
+		allocStr := "n/a"
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			ar := ratio(*n.AllocsPerOp, *o.AllocsPerOp)
+			allocStr = fmt.Sprintf("%.3f", ar)
+			if ar > maxAllocs {
+				mark += "  ** allocs regression"
+				regressed = true
+			}
+		}
+		fmt.Fprintf(w, "%-55s %12.3f %14s%s\n", name, nsRatio, allocStr, mark)
+	}
+	for name := range newDoc.Benchmarks {
+		if _, ok := oldDoc.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "%-55s %12s %14s\n", name, "new", "new")
+		}
+	}
+	if regressed {
+		fmt.Fprintf(w, "\nFAIL: regression past thresholds (ns > %.2fx, allocs > %.2fx)\n", maxNs, maxAllocs)
+	}
+	return regressed, nil
+}
+
+// ratio returns n/o, treating a zero or absent baseline as neutral: a
+// benchmark whose baseline is 0 allocs/op stays 0-vs-0 in practice, and
+// anything divided by zero would otherwise mask every other column.
+func ratio(n, o float64) float64 {
+	if o == 0 { //lint:floatexact
+		if n == 0 { //lint:floatexact
+			return 1
+		}
+		return n // vs a zero baseline, report the raw value
+	}
+	return n / o
+}

@@ -26,6 +26,7 @@ import (
 	"io"
 
 	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/costcache"
 	"github.com/shus-lab/hios/internal/gpu"
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/memory"
@@ -310,6 +311,32 @@ func Profiled(m CostModel, warmup, repeats int) *ProfiledModel {
 // measurements exactly and counts any probe the profile is missing.
 func ImportProfile(data []byte) (*FrozenCostModel, error) {
 	return profile.Import(data)
+}
+
+// KernelCacheStats snapshots the process-wide kernel-signature cache:
+// how many distinct kernel, transfer and concurrent-stage shapes have
+// been priced, and the hit/miss counts per tier. The cache memoizes the
+// analytic cost model by shape (never by operator identity), so building
+// many nets or sweeping many sizes in one process re-derives each
+// distinct roofline exactly once; see DESIGN.md "Cost-model caching
+// hierarchy".
+type KernelCacheStats = costcache.Stats
+
+// SharedKernelCacheStats reports the shared cache's current snapshot.
+func SharedKernelCacheStats() KernelCacheStats { return costcache.Shared().Stats() }
+
+// ResetSharedKernelCache drops every memoized shape. Results never
+// depend on the cache's state — values are pure functions of their
+// shapes — so this only matters for cold-cache measurements.
+func ResetSharedKernelCache() { costcache.Shared().Reset() }
+
+// CachedCostModel prices a built net straight from its per-operator
+// kernel shapes through the shared kernel-signature cache, with the
+// calibrated contention model. It is bit-identical to DefaultCostModel
+// on the net's graph — the graph weights are those same cached values —
+// but shares every probe with all other nets in the process.
+func CachedCostModel(n *Net) (CostModel, error) {
+	return n.CachedModel(cost.DefaultContention())
 }
 
 // Evaluate computes the timing of a complete schedule under the paper's

@@ -1,0 +1,52 @@
+package cost
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// stageSigInline is how many stage members a StageSig holds inline. The
+// schedulers' MaxStage default is 8, so in practice every probe fits and
+// building a signature allocates nothing.
+const stageSigInline = 8
+
+// StageSig is the canonical shape signature of one concurrent-stage
+// probe: the Contention coefficients plus the member (time, utilization)
+// pairs, IN PROBE ORDER. The order is deliberately preserved rather than
+// canonicalized: StageTimeItems folds the members left to right and
+// float addition is not associative, so sorting the members could move
+// the result by an ulp and a cached value would no longer be
+// bit-identical to a direct evaluation. Contention's t(S) is symmetric
+// up to that last ulp, which means permuted stages may miss the cache —
+// an accepted cost; correctness (bit-exact equality with the uncached
+// path) is the invariant.
+//
+// Members beyond the inline capacity spill, in the same order, into a
+// string of big-endian IEEE-754 encodings, keeping the struct comparable.
+type StageSig struct {
+	Alpha       float64
+	DefaultUtil float64
+	N           int
+	Items       [stageSigInline]Item
+	Rest        string
+}
+
+// Sig returns the stage-probe signature of pricing items under c.
+func (c Contention) Sig(items []Item) StageSig {
+	s := StageSig{Alpha: c.Alpha, DefaultUtil: c.DefaultUtil, N: len(items)}
+	n := len(items)
+	if n > stageSigInline {
+		n = stageSigInline
+	}
+	copy(s.Items[:n], items[:n])
+	if len(items) > stageSigInline {
+		spill := items[stageSigInline:]
+		buf := make([]byte, 16*len(spill))
+		for i, it := range spill {
+			binary.BigEndian.PutUint64(buf[16*i:], math.Float64bits(float64(it.Time)))
+			binary.BigEndian.PutUint64(buf[16*i+8:], math.Float64bits(it.Util))
+		}
+		s.Rest = string(buf)
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+package costcache
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/gpu"
+	"github.com/shus-lab/hios/internal/parallel"
+	"github.com/shus-lab/hios/internal/units"
+)
+
+// probeKernels returns a workload of kernel shapes with deliberate
+// repetition (i%7) so both hits and misses occur.
+func probeKernels(n int) []gpu.Kernel {
+	ks := make([]gpu.Kernel, n)
+	for i := range ks {
+		v := float64(i%7 + 1)
+		ks[i] = gpu.Kernel{
+			FLOPs:   units.FLOPs(1e9 * v),
+			Bytes:   units.Bytes(1e6 * v),
+			Threads: 1e5 * v,
+		}
+	}
+	return ks
+}
+
+// TestValuesBitIdentical pins the cache's core contract: every tier
+// returns exactly the value the underlying pure function returns —
+// not approximately, bit for bit.
+func TestValuesBitIdentical(t *testing.T) {
+	c := New()
+	dev := gpu.A40()
+	link := gpu.NVLinkBridge()
+	ct := cost.DefaultContention()
+
+	for round := 0; round < 2; round++ { // round 1 = miss path, round 2 = hit path
+		for _, k := range probeKernels(20) {
+			gotT, gotU := c.KernelTime(dev, k)
+			if gotT != dev.Time(k) || gotU != dev.Utilization(k) { //lint:floatexact
+				t.Fatalf("round %d: kernel %+v: got (%v,%v), want (%v,%v)",
+					round, k, gotT, gotU, dev.Time(k), dev.Utilization(k))
+			}
+			b := k.Bytes
+			if got := c.TransferTime(link, b); got != link.TransferTime(b) { //lint:floatexact
+				t.Fatalf("round %d: transfer %v: got %v want %v", round, b, got, link.TransferTime(b))
+			}
+		}
+		// Stages spanning the inline capacity and the spill path, probed
+		// in a fixed order (the signature preserves order).
+		for width := 1; width <= 12; width++ {
+			items := make([]cost.Item, width)
+			for i := range items {
+				items[i] = cost.Item{Time: units.Millis(float64(i+1) * 0.3), Util: 0.1 * float64(i%9+1)}
+			}
+			if got := c.StageTime(ct, items); got != ct.StageTimeItems(items) { //lint:floatexact
+				t.Fatalf("round %d: stage width %d: got %v want %v", round, width, got, ct.StageTimeItems(items))
+			}
+		}
+	}
+
+	s := c.Stats()
+	if s.Kernels != 7 || s.Transfers != 7 || s.Stages != 12 {
+		t.Fatalf("distinct signatures: got %d/%d/%d kernels/transfers/stages, want 7/7/12", s.Kernels, s.Transfers, s.Stages)
+	}
+	if s.KernelHits+s.KernelMisses != 40 || s.KernelMisses != 7 {
+		t.Fatalf("kernel counters: %d hits + %d misses, want 33+7", s.KernelHits, s.KernelMisses)
+	}
+	if s.StageHits+s.StageMisses != 24 || s.StageMisses != 12 {
+		t.Fatalf("stage counters: %d hits + %d misses, want 12+12", s.StageHits, s.StageMisses)
+	}
+}
+
+// TestConcurrentProbesExact hammers one cache from an oversubscribed
+// worker pool and requires every returned value to be bit-identical to
+// the serial reference: cached values are pure functions of their
+// signatures, so no interleaving of racing inserts may change a single
+// bit. Run under -race in CI, this is the shared-cache concurrency
+// contract of the parallel sweeps.
+func TestConcurrentProbesExact(t *testing.T) {
+	dev := gpu.V100S()
+	link := gpu.PCIe3()
+	ct := cost.DefaultContention()
+	kernels := probeKernels(64)
+
+	type cell struct {
+		KTime units.Millis
+		KUtil float64
+		TTime units.Millis
+		STime units.Millis
+	}
+	probe := func(i int) cell {
+		k := kernels[i%len(kernels)]
+		items := []cost.Item{
+			{Time: units.Millis(float64(i%5) + 0.5), Util: 0.3},
+			{Time: units.Millis(float64(i%3) + 0.25), Util: 0.8},
+		}
+		var out cell
+		out.KTime, out.KUtil = shared.KernelTime(dev, k)
+		out.TTime = shared.TransferTime(link, k.Bytes)
+		out.STime = shared.StageTime(ct, items)
+		return out
+	}
+
+	const n = 512
+	want := make([]cell, n)
+	for i := range want {
+		k := kernels[i%len(kernels)]
+		items := []cost.Item{
+			{Time: units.Millis(float64(i%5) + 0.5), Util: 0.3},
+			{Time: units.Millis(float64(i%3) + 0.25), Util: 0.8},
+		}
+		want[i] = cell{
+			KTime: dev.Time(k),
+			KUtil: dev.Utilization(k),
+			TTime: link.TransferTime(k.Bytes),
+			STime: ct.StageTimeItems(items),
+		}
+	}
+
+	before := shared.Stats()
+	got, err := parallel.Map(n, runtime.GOMAXPROCS(0)+3, func(i int) (cell, error) {
+		return probe(i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] { //lint:floatexact
+			t.Fatalf("probe %d: concurrent cache returned %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	after := shared.Stats()
+	if d := (after.KernelHits + after.KernelMisses) - (before.KernelHits + before.KernelMisses); d != n {
+		t.Fatalf("kernel probe count: %d, want %d", d, n)
+	}
+	if d := (after.StageHits + after.StageMisses) - (before.StageHits + before.StageMisses); d != n {
+		t.Fatalf("stage probe count: %d, want %d", d, n)
+	}
+}
+
+// TestResetEmptiesEverything covers Reset: counters and maps drop to
+// zero and subsequent probes still return exact values.
+func TestResetEmptiesEverything(t *testing.T) {
+	c := New()
+	dev := gpu.A5500()
+	k := probeKernels(1)[0]
+	c.KernelTime(dev, k)
+	c.Reset()
+	s := c.Stats()
+	if s.Probes() != 0 || s.Kernels != 0 || s.Transfers != 0 || s.Stages != 0 {
+		t.Fatalf("after Reset: %+v", s)
+	}
+	gotT, gotU := c.KernelTime(dev, k)
+	if gotT != dev.Time(k) || gotU != dev.Utilization(k) { //lint:floatexact
+		t.Fatalf("post-reset probe: got (%v,%v)", gotT, gotU)
+	}
+}

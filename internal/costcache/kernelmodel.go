@@ -1,0 +1,74 @@
+package costcache
+
+import (
+	"fmt"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/gpu"
+	"github.com/shus-lab/hios/internal/graph"
+	"github.com/shus-lab/hios/internal/units"
+)
+
+// KernelModel is a cost.Model that prices a graph straight from per-op
+// kernel shapes through a Cache, instead of reading weights baked into
+// the graph. For a net whose graph weights were produced by the same
+// device/link/contention configuration (model.Builder), every quantity
+// is bit-identical to cost.FromGraph on that graph — the builder stored
+// exactly these cached values — so the two models are interchangeable;
+// this one additionally shares its pricing with every other graph in the
+// process that contains the same kernel shapes.
+type KernelModel struct {
+	cache   *Cache
+	g       *graph.Graph
+	dev     gpu.Device
+	link    gpu.Link
+	kernels []gpu.Kernel
+	out     []units.Bytes // per-op output-tensor size (transfer payload)
+	ct      cost.Contention
+}
+
+var _ cost.Model = (*KernelModel)(nil)
+
+// NewKernelModel builds a KernelModel over g. kernels and out must hold
+// one entry per operator of g.
+func NewKernelModel(c *Cache, g *graph.Graph, dev gpu.Device, link gpu.Link, kernels []gpu.Kernel, out []units.Bytes, ct cost.Contention) (*KernelModel, error) {
+	if len(kernels) != g.NumOps() || len(out) != g.NumOps() {
+		return nil, fmt.Errorf("costcache: %d kernels / %d outputs for a %d-op graph",
+			len(kernels), len(out), g.NumOps())
+	}
+	return &KernelModel{cache: c, g: g, dev: dev, link: link, kernels: kernels, out: out, ct: ct}, nil
+}
+
+// OpTime implements cost.Model.
+func (m *KernelModel) OpTime(v graph.OpID) units.Millis {
+	t, _ := m.cache.KernelTime(m.dev, m.kernels[v])
+	return t
+}
+
+// CommTime implements cost.Model: the transfer time of u's output tensor
+// across the link, charged only when the dependency exists.
+func (m *KernelModel) CommTime(u, v graph.OpID) units.Millis {
+	if _, ok := m.g.TransferTime(u, v); !ok {
+		return 0
+	}
+	return m.cache.TransferTime(m.link, m.out[u])
+}
+
+// StageTime implements cost.Model. The item buffer is stack-local so one
+// model may be probed from many goroutines at once.
+func (m *KernelModel) StageTime(ops []graph.OpID) units.Millis {
+	if len(ops) == 1 {
+		t, _ := m.cache.KernelTime(m.dev, m.kernels[ops[0]])
+		return t
+	}
+	var buf [16]cost.Item
+	items := buf[:0]
+	if len(ops) > len(buf) {
+		items = make([]cost.Item, 0, len(ops))
+	}
+	for _, v := range ops {
+		t, u := m.cache.KernelTime(m.dev, m.kernels[v])
+		items = append(items, cost.Item{Time: t, Util: u})
+	}
+	return m.cache.StageTime(m.ct, items)
+}

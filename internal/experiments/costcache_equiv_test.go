@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/shus-lab/hios/internal/costcache"
+)
+
+// TestFig12ParallelMatchesSerial extends the DESIGN.md §7 determinism
+// contract to the real-system sweep: Fig. 12 cells now run on the worker
+// pool and every cell's benchmark build prices its kernels through the
+// process-wide shape cache, so this test is also the shared-cache
+// concurrency check — GOMAXPROCS+3 workers hammer the cache while
+// building nets, and the rendered figure must stay byte-identical to the
+// serial reference path.
+func TestFig12ParallelMatchesSerial(t *testing.T) {
+	sizes := []int{299, 384}
+	sFig, err := fig12(Inception, sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wFig, err := fig12(Inception, sizes, runtime.GOMAXPROCS(0)+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOut, wOut := renderBoth(t, sFig), renderBoth(t, wFig)
+	if sOut != wOut {
+		t.Fatalf("Fig12 diverges between serial and parallel sweeps:\n--- serial ---\n%s\n--- parallel ---\n%s", sOut, wOut)
+	}
+}
+
+// TestFig13ParallelMatchesSerial is the same contract for the scenario
+// sweep of Fig. 13. The scenarios include the 2048-pixel builds, so run
+// it only with -timeout headroom (it is the heaviest equivalence test).
+func TestFig13ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fig13 at full scenario sizes is slow; skipped with -short")
+	}
+	sFig, _, err := fig13(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wFig, _, err := fig13(runtime.GOMAXPROCS(0) + 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOut, wOut := renderBoth(t, sFig), renderBoth(t, wFig)
+	if sOut != wOut {
+		t.Fatalf("Fig13 diverges between serial and parallel sweeps:\n--- serial ---\n%s\n--- parallel ---\n%s", sOut, wOut)
+	}
+}
+
+// TestFig14AccountingCacheInvariant pins the layering claim of the
+// cost-model caching hierarchy (DESIGN.md "Cost-model caching
+// hierarchy"): profile.CostTable keeps its own per-table maps and probe
+// counters ABOVE the shared shape cache, so Fig. 14's profiling-cost
+// accounting — distinct probes and simulated profiler milliseconds
+// against a fresh table — is exactly the same whether the process-wide
+// cache is cold or fully warm.
+func TestFig14AccountingCacheInvariant(t *testing.T) {
+	costcache.Shared().Reset() // cold
+	cold, err := MeasureSchedulingCost(AlgoHIOSLP, Inception, 299)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costcache.Shared().Stats().Probes() == 0 {
+		t.Fatal("benchmark build did not touch the shared cache")
+	}
+	warm, err := MeasureSchedulingCost(AlgoHIOSLP, Inception, 299) // warm
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Probes != warm.Probes {
+		t.Fatalf("probe count depends on shared-cache state: cold %d, warm %d", cold.Probes, warm.Probes)
+	}
+	if cold.ProfilingMs != warm.ProfilingMs { //lint:floatexact
+		t.Fatalf("simulated profiling time depends on shared-cache state: cold %v, warm %v",
+			cold.ProfilingMs, warm.ProfilingMs)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"time"
 
 	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/costcache"
 	"github.com/shus-lab/hios/internal/gpu"
 	"github.com/shus-lab/hios/internal/model"
+	"github.com/shus-lab/hios/internal/parallel"
 	"github.com/shus-lab/hios/internal/profile"
 	"github.com/shus-lab/hios/internal/sim"
 	"github.com/shus-lab/hios/internal/stats"
@@ -45,10 +47,9 @@ func Fig1() Figure {
 	s := Series{Label: dev.Name}
 	for _, size := range Fig1Sizes {
 		k := paperConvKernel(int(size))
-		t := dev.Time(k)
-		u := dev.Utilization(k)
+		t, u := costcache.Shared().KernelTime(dev, k)
 		seqT := 2 * t
-		parT := c.StageTimeItems([]cost.Item{{Time: t, Util: u}, {Time: t, Util: u}})
+		parT := costcache.Shared().StageTime(c, []cost.Item{{Time: t, Util: u}, {Time: t, Util: u}})
 		s.Points = append(s.Points, Point{X: size, Mean: seqT.Ratio(parT)})
 	}
 	fig.Series = []Series{s}
@@ -70,9 +71,10 @@ func Fig2() Figure {
 		for _, size := range Fig1Sizes {
 			k := paperConvKernel(int(size))
 			inputBytes := units.Bytes(4 * 48 * size * size)
+			compute, _ := costcache.Shared().KernelTime(p.Dev, k)
 			s.Points = append(s.Points, Point{
 				X:    size,
-				Mean: p.Link.TransferTime(inputBytes).Ratio(p.Dev.Time(k)),
+				Mean: costcache.Shared().TransferTime(p.Link, inputBytes).Ratio(compute),
 			})
 		}
 		fig.Series = append(fig.Series, s)
@@ -118,7 +120,14 @@ func BuildBenchmark(b Benchmark, p gpu.Platform, size int) (*model.Net, error) {
 // Fig12 reproduces Fig. 12: actual inference latency of one benchmark
 // over input sizes under sequential, IOS, HIOS-LP and HIOS-MR scheduling
 // on the dual-A40 platform.
-func Fig12(b Benchmark, sizes []int) (Figure, error) {
+func Fig12(b Benchmark, sizes []int) (Figure, error) { return fig12(b, sizes, 0) }
+
+// fig12 runs one size per worker-pool task: every cell builds its own
+// net (through the shared shape cache, which concurrent builders may
+// populate in any order without changing a single value) and measures
+// every algorithm, and the merge is index-ordered, so the figure is
+// byte-identical at any pool width.
+func fig12(b Benchmark, sizes []int, workers int) (Figure, error) {
 	if sizes == nil {
 		sizes = DefaultSizes(b)
 	}
@@ -140,18 +149,28 @@ func Fig12(b Benchmark, sizes []int) (Figure, error) {
 			samples[a][i] = &stats.Sample{}
 		}
 	}
-	for i, size := range sizes {
-		net, err := BuildBenchmark(b, plat, size)
+	cells, err := parallel.Map(len(sizes), workers, func(i int) ([]float64, error) {
+		net, err := BuildBenchmark(b, plat, sizes[i])
 		if err != nil {
-			return Figure{}, err
+			return nil, err
 		}
 		m := cost.FromGraph(net.G, cost.DefaultContention())
-		for _, a := range RealSystemAlgorithms {
+		lats := make([]float64, len(RealSystemAlgorithms))
+		for ai, a := range RealSystemAlgorithms {
 			lat, err := measure(a, net, m, plat.GPUs)
 			if err != nil {
-				return Figure{}, fmt.Errorf("Fig12 %s %s@%d: %w", a, b, size, err)
+				return nil, fmt.Errorf("Fig12 %s %s@%d: %w", a, b, sizes[i], err)
 			}
-			samples[a][i].Add(lat)
+			lats[ai] = lat
+		}
+		return lats, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for i, lats := range cells {
+		for ai, a := range RealSystemAlgorithms {
+			samples[a][i].Add(lats[ai])
 		}
 	}
 	for _, a := range RealSystemAlgorithms {
@@ -182,7 +201,12 @@ func measure(algo string, net *model.Net, m cost.Model, gpus int) (float64, erro
 // for both benchmarks at their small (default) and largest input sizes.
 // X positions are scenario indices: 0 = inception/small, 1 =
 // inception/large, 2 = nasnet/small, 3 = nasnet/large.
-func Fig13() (Figure, []string, error) {
+func Fig13() (Figure, []string, error) { return fig13(0) }
+
+// fig13 parallelizes over scenario cells exactly as fig12 does over
+// sizes; the index-ordered merge keeps the figure byte-identical at any
+// pool width.
+func fig13(workers int) (Figure, []string, error) {
 	plat := gpu.DualA40()
 	type scenario struct {
 		b    Benchmark
@@ -193,6 +217,9 @@ func Fig13() (Figure, []string, error) {
 		{NASNet, 331}, {NASNet, 2048},
 	}
 	labels := make([]string, len(scenarios))
+	for i, sc := range scenarios {
+		labels[i] = fmt.Sprintf("%s@%d", sc.b, sc.size)
+	}
 	fig := Figure{
 		ID:     "Fig13",
 		Title:  "performance gain breakdown (dual A40)",
@@ -203,19 +230,29 @@ func Fig13() (Figure, []string, error) {
 	for _, a := range AllAlgorithms {
 		series[a] = &Series{Label: a}
 	}
-	for i, sc := range scenarios {
-		labels[i] = fmt.Sprintf("%s@%d", sc.b, sc.size)
+	cells, err := parallel.Map(len(scenarios), workers, func(i int) ([]float64, error) {
+		sc := scenarios[i]
 		net, err := BuildBenchmark(sc.b, plat, sc.size)
 		if err != nil {
-			return Figure{}, nil, err
+			return nil, err
 		}
 		m := cost.FromGraph(net.G, cost.DefaultContention())
-		for _, a := range AllAlgorithms {
+		lats := make([]float64, len(AllAlgorithms))
+		for ai, a := range AllAlgorithms {
 			lat, err := measure(a, net, m, plat.GPUs)
 			if err != nil {
-				return Figure{}, nil, fmt.Errorf("Fig13 %s %s: %w", a, labels[i], err)
+				return nil, fmt.Errorf("Fig13 %s %s: %w", a, labels[i], err)
 			}
-			series[a].Points = append(series[a].Points, Point{X: float64(i), Mean: lat})
+			lats[ai] = lat
+		}
+		return lats, nil
+	})
+	if err != nil {
+		return Figure{}, nil, err
+	}
+	for i := range scenarios {
+		for ai, a := range AllAlgorithms {
+			series[a].Points = append(series[a].Points, Point{X: float64(i), Mean: cells[i][ai]})
 		}
 	}
 	for _, a := range AllAlgorithms {

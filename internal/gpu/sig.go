@@ -1,0 +1,55 @@
+package gpu
+
+import "github.com/shus-lab/hios/internal/units"
+
+// KernelSig is the canonical shape signature of one solo-kernel probe: it
+// packs exactly the parameters Device.Time and Device.Utilization read —
+// the device's roofline coefficients and the kernel's work shape — and
+// nothing else (Name, SMs and CUDACores are informational and never enter
+// the math). Two probes with equal signatures are guaranteed the same
+// (time, utilization) answer, bit for bit, because both functions are
+// pure; that is what lets a process-wide cache short-circuit the
+// evaluation across graphs and sweep seeds without any notion of OpID.
+// The struct is comparable and free of pointers, so it can key a map
+// directly.
+type KernelSig struct {
+	Peak       units.FLOPsPerSec
+	MemBW      units.BytesPerSec
+	Efficiency float64
+	Launch     units.Millis
+	Saturation float64
+	MinUtil    float64
+	FLOPs      units.FLOPs
+	Bytes      units.Bytes
+	Threads    float64
+}
+
+// Sig returns the kernel-probe signature of running k on d.
+func (d Device) Sig(k Kernel) KernelSig {
+	return KernelSig{
+		Peak:       d.PeakFLOPs,
+		MemBW:      d.MemBW,
+		Efficiency: d.Efficiency,
+		Launch:     d.LaunchOverhead,
+		Saturation: d.SaturationThreads,
+		MinUtil:    d.MinUtil,
+		FLOPs:      k.FLOPs,
+		Bytes:      k.Bytes,
+		Threads:    k.Threads,
+	}
+}
+
+// TransferSig is the canonical shape signature of one transfer probe:
+// the parameters Link.TransferTime reads (the link's bandwidth and
+// per-message latency) plus the payload size. As with KernelSig, equal
+// signatures imply bit-identical transfer times.
+type TransferSig struct {
+	Bandwidth units.BytesPerSec
+	Latency   units.Millis
+	Bytes     units.Bytes
+}
+
+// Sig returns the transfer-probe signature of moving b bytes across l.
+func (l Link) Sig(b units.Bytes) TransferSig {
+	return TransferSig{Bandwidth: l.Bandwidth, Latency: l.Latency, Bytes: b}
+}

@@ -1,0 +1,90 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/gpu"
+	"github.com/shus-lab/hios/internal/graph"
+)
+
+// TestCachedModelMatchesGraphModel pins the interchangeability claim of
+// Net.CachedModel: pricing a built net straight from its kernel shapes
+// through the shared cache must be bit-identical to cost.FromGraph over
+// the baked weights — for t(v), t(u,v) and t(S) alike — because the
+// weights ARE the cached values.
+func TestCachedModelMatchesGraphModel(t *testing.T) {
+	net := InceptionV3(gpu.A40(), gpu.NVLinkBridge(), 299)
+	ct := cost.DefaultContention()
+	gm := cost.FromGraph(net.G, ct)
+	km, err := net.CachedModel(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := net.G.NumOps()
+	for v := 0; v < n; v++ {
+		id := graph.OpID(v)
+		if got, want := km.OpTime(id), gm.OpTime(id); got != want { //lint:floatexact
+			t.Fatalf("OpTime(%d): cached %v, graph %v", v, got, want)
+		}
+	}
+	edges := 0
+	for v := 0; v < n && edges < 500; v++ {
+		id := graph.OpID(v)
+		net.G.Succs(id, func(u graph.OpID, _ float64) {
+			edges++
+			if got, want := km.CommTime(id, u), gm.CommTime(id, u); got != want { //lint:floatexact
+				t.Fatalf("CommTime(%d,%d): cached %v, graph %v", id, u, got, want)
+			}
+		})
+	}
+	if edges == 0 {
+		t.Fatal("no edges visited")
+	}
+	// Stages assembled from stride-spaced operators, spanning widths
+	// either side of the signatures' inline capacity. These are not
+	// semantically valid concurrent stages — StageTime is a pure
+	// function of the member list, which is all that matters here.
+	var ops []graph.OpID
+	for width := 1; width <= 11; width++ {
+		ops = ops[:0]
+		for i := 0; i < width; i++ {
+			ops = append(ops, graph.OpID((i*17+width)%n))
+		}
+		if got, want := km.StageTime(ops), gm.StageTime(ops); got != want { //lint:floatexact
+			t.Fatalf("StageTime(width %d): cached %v, graph %v", width, got, want)
+		}
+	}
+	// CommTime of a non-edge is zero on both sides.
+	if got := km.CommTime(graph.OpID(0), graph.OpID(0)); got != 0 { //lint:floatexact
+		t.Fatalf("CommTime of non-edge: %v", got)
+	}
+}
+
+// TestBuilderCacheStability: building the same net twice yields
+// byte-identical graph weights — the second build is served almost
+// entirely from the shared cache, and cached values must not drift.
+func TestBuilderCacheStability(t *testing.T) {
+	a := InceptionV3(gpu.A40(), gpu.NVLinkBridge(), 299)
+	b := InceptionV3(gpu.A40(), gpu.NVLinkBridge(), 299)
+	if a.G.NumOps() != b.G.NumOps() {
+		t.Fatalf("op counts differ: %d vs %d", a.G.NumOps(), b.G.NumOps())
+	}
+	for v := range a.G.Ops() {
+		oa, ob := a.G.Op(graph.OpID(v)), b.G.Op(graph.OpID(v))
+		if oa.Time != ob.Time || oa.Util != ob.Util { //lint:floatexact
+			t.Fatalf("op %d weights drifted across rebuilds: (%v,%v) vs (%v,%v)",
+				v, oa.Time, oa.Util, ob.Time, ob.Util)
+		}
+	}
+	ea, eb := a.G.Edges(), b.G.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i].Time != eb[i].Time { //lint:floatexact
+			t.Fatalf("edge %d transfer drifted: %v vs %v", i, ea[i].Time, eb[i].Time)
+		}
+	}
+}

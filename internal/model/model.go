@@ -12,6 +12,8 @@ package model
 import (
 	"fmt"
 
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/costcache"
 	"github.com/shus-lab/hios/internal/gpu"
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/units"
@@ -32,7 +34,8 @@ func (t Tensor) Bytes() int64 { return 4 * t.Elems() }
 func (t Tensor) String() string { return fmt.Sprintf("%dx%dx%d", t.C, t.H, t.W) }
 
 // Net is a built network: a finalized weighted graph plus per-operator
-// output shapes.
+// output shapes and the kernel characterizations the weights were priced
+// from.
 type Net struct {
 	// Name identifies the network and input size, e.g.
 	// "inception-v3-299".
@@ -41,17 +44,23 @@ type Net struct {
 	G *graph.Graph
 	// Shapes holds each operator's output tensor, indexed by OpID.
 	Shapes []Tensor
+	// Kernels holds each operator's kernel shape, indexed by OpID.
+	Kernels []gpu.Kernel
+	// Dev and Link are the platform the weights were priced on.
+	Dev  gpu.Device
+	Link gpu.Link
 }
 
 // Builder incrementally constructs a Net. All Add* methods panic on
 // malformed shapes (builders encode static architectures; a shape error is
 // a programming bug, not an input error), and Build finalizes the graph.
 type Builder struct {
-	name   string
-	dev    gpu.Device
-	link   gpu.Link
-	g      *graph.Graph
-	shapes []Tensor
+	name    string
+	dev     gpu.Device
+	link    gpu.Link
+	g       *graph.Graph
+	shapes  []Tensor
+	kernels []gpu.Kernel
 }
 
 // NewBuilder returns a Builder pricing operators on dev and transfers on
@@ -63,21 +72,27 @@ func NewBuilder(name string, dev gpu.Device, link gpu.Link) *Builder {
 // Shape returns the output tensor of an already-added operator.
 func (b *Builder) Shape(id graph.OpID) Tensor { return b.shapes[id] }
 
-// addOp prices the kernel on the builder's device and appends the op.
+// addOp prices the kernel on the builder's device — through the
+// process-wide shape cache, so the repeated cells of NASNet (and
+// re-builds of the same benchmark at other sweep points) derive the
+// roofline once per distinct shape — and appends the op. The cached
+// values are bit-identical to calling the device model directly.
 func (b *Builder) addOp(name, kind string, out Tensor, k gpu.Kernel, srcs ...graph.OpID) graph.OpID {
 	if out.C <= 0 || out.H <= 0 || out.W <= 0 {
 		panic(fmt.Sprintf("model: %s %q produces non-positive shape %v", kind, name, out))
 	}
+	t, util := costcache.Shared().KernelTime(b.dev, k)
 	id := b.g.AddOp(graph.Op{
 		Name:  name,
 		Kind:  kind,
-		Time:  float64(b.dev.Time(k)),
-		Util:  b.dev.Utilization(k),
+		Time:  float64(t),
+		Util:  util,
 		Bytes: out.Bytes(),
 	})
 	b.shapes = append(b.shapes, out)
+	b.kernels = append(b.kernels, k)
 	for _, s := range srcs {
-		b.g.AddEdge(s, id, float64(b.link.TransferTime(units.Bytes(b.shapes[s].Bytes()))))
+		b.g.AddEdge(s, id, float64(costcache.Shared().TransferTime(b.link, units.Bytes(b.shapes[s].Bytes()))))
 	}
 	return id
 }
@@ -218,7 +233,20 @@ func (b *Builder) Build() (*Net, error) {
 	if err := b.g.Finalize(); err != nil {
 		return nil, err
 	}
-	return &Net{Name: b.name, G: b.g, Shapes: b.shapes}, nil
+	return &Net{Name: b.name, G: b.g, Shapes: b.shapes, Kernels: b.kernels, Dev: b.dev, Link: b.link}, nil
+}
+
+// CachedModel returns a cost.Model pricing the net straight from its
+// kernel shapes through the process-wide shape cache. It is bit-identical
+// to cost.FromGraph(n.G, ct) for any ct matching the build configuration
+// — the graph weights ARE the cached values — but shares every probe
+// with other nets in the process.
+func (n *Net) CachedModel(ct cost.Contention) (cost.Model, error) {
+	out := make([]units.Bytes, len(n.Shapes))
+	for i, sh := range n.Shapes {
+		out[i] = units.Bytes(sh.Bytes())
+	}
+	return costcache.NewKernelModel(costcache.Shared(), n.G, n.Dev, n.Link, n.Kernels, out, ct)
 }
 
 // MustBuild is Build that panics on error; architecture builders are

@@ -183,6 +183,13 @@ type stageSig struct {
 }
 
 // makeStageSig builds the canonical (sorted-member) key for ops.
+//
+// The spill path sorts the member values on a stack array and encodes
+// the overflow directly as big-endian 8-byte chunks (OpIDs are
+// non-negative, so the encoding's lexicographic order equals numeric
+// order): two allocations — the chunk buffer and the spill string —
+// instead of the five of the heap-sorted slice + byte-buffer + string
+// round-trip it replaces (BenchmarkStageSigWide).
 func makeStageSig(ops []graph.OpID) stageSig {
 	k := stageSig{n: len(ops)}
 	if len(ops) <= stageSigInline {
@@ -197,18 +204,55 @@ func makeStageSig(ops []graph.OpID) stageSig {
 		}
 		return k
 	}
-	s := make([]graph.OpID, len(ops))
-	copy(s, ops)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	copy(k.ids[:], s[:stageSigInline])
-	buf := make([]byte, 0, 8*(len(s)-stageSigInline))
-	for _, id := range s[stageSigInline:] {
-		buf = append(buf,
-			byte(id), byte(id>>8), byte(id>>16), byte(id>>24),
-			byte(id>>32), byte(id>>40), byte(id>>48), byte(id>>56))
+	// Sort the member values on a stack array (insertion sort for the
+	// realistic widths; the stdlib-sort fallback below keeps its own
+	// heap slice so this array never escapes), then encode the sorted
+	// tail directly into the spill buffer.
+	if len(ops) <= 64 {
+		var arr [64]uint64
+		vals := arr[:len(ops)]
+		for i, id := range ops {
+			vals[i] = uint64(id)
+		}
+		for a := 1; a < len(vals); a++ {
+			for b := a; b > 0 && vals[b] < vals[b-1]; b-- {
+				vals[b], vals[b-1] = vals[b-1], vals[b]
+			}
+		}
+		k.fillSpill(vals)
+		return k
+	}
+	vals := make([]uint64, len(ops))
+	for i, id := range ops {
+		vals[i] = uint64(id)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	k.fillSpill(vals)
+	return k
+}
+
+// fillSpill distributes sorted member values into the inline array and
+// the encoded spill string.
+func (k *stageSig) fillSpill(vals []uint64) {
+	for i := 0; i < stageSigInline; i++ {
+		k.ids[i] = graph.OpID(vals[i])
+	}
+	buf := make([]byte, 8*(len(vals)-stageSigInline))
+	for i, v := range vals[stageSigInline:] {
+		putChunk(buf[8*i:8*i+8], v)
 	}
 	k.rest = string(buf)
-	return k
+}
+
+func putChunk(dst []byte, v uint64) {
+	dst[0] = byte(v >> 56)
+	dst[1] = byte(v >> 48)
+	dst[2] = byte(v >> 40)
+	dst[3] = byte(v >> 32)
+	dst[4] = byte(v >> 24)
+	dst[5] = byte(v >> 16)
+	dst[6] = byte(v >> 8)
+	dst[7] = byte(v)
 }
 
 // members reconstructs the sorted member set the key encodes.
@@ -221,7 +265,7 @@ func (k stageSig) members() []graph.OpID {
 	out = append(out, k.ids[:inline]...)
 	for i := 0; i+7 < len(k.rest); i += 8 {
 		var id uint64
-		for j := 7; j >= 0; j-- {
+		for j := 0; j < 8; j++ {
 			id = id<<8 | uint64(k.rest[i+j])
 		}
 		out = append(out, graph.OpID(id))

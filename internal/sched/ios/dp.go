@@ -2,7 +2,6 @@ package ios
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"github.com/shus-lab/hios/internal/cost"
@@ -11,30 +10,168 @@ import (
 )
 
 // maxBlockOps bounds the number of operators one DP block may hold: the
-// bitset state is a fixed [8]uint64 so it can serve directly as a map key
+// bitset state is a fixed [8]uint64 so it can serve directly as a hash key
 // without per-state string allocation. 512 operators per block is far
 // beyond anything the dynamic program could enumerate in practice anyway.
 const maxBlockOps = 8 * 64
 
 // bitset is a fixed-width set over a block's local operator indices,
-// usable directly as a map key.
+// comparable by value.
 type bitset [8]uint64
 
 func (b *bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
 func (b *bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
 
 // dpState is one DP node: a prefix-closed set of scheduled block operators.
+// States live in the solver's slab and reference each other by slab index;
+// the stage taken to reach a state is a range of the solver's stage arena.
+// Nothing in a dpState points into the heap, so growing the slab moves
+// states without invalidating anything.
 type dpState struct {
-	set   bitset
-	cost  units.Millis
-	prev  bitset       // predecessor state
-	stage []graph.OpID // stage taken to reach this state (graph IDs)
-	count int          // popcount of set
+	set      bitset
+	cost     units.Millis
+	prev     int32 // slab index of the predecessor state (-1 for the start)
+	stageOff int32 // stage range in the solver's arena (graph IDs)
+	stageLen int32
+	count    int32 // popcount of set
+}
+
+// solver holds every scratch structure of the block dynamic program so one
+// Schedule call (or one SolveSequence caller) reuses the allocations across
+// blocks. The DP used to allocate per state — a map entry keyed by the
+// 64-byte bitset, a *dpState, and a fresh stage slice on every
+// better-cost improvement — which made the DP the dominant allocation
+// site of the whole reproduction (BenchmarkSchedulerIOS). The slab +
+// arena + open-addressing layout below performs a small constant number
+// of amortized allocations per block instead. The zero value is ready.
+type solver struct {
+	inBlock []int32 // graph OpID -> local block index, -1 outside
+	preds   [][]int // local intra-block predecessor lists
+
+	states []dpState    // state slab, index-addressed
+	arena  []graph.OpID // interned stage storage, ranges never move
+	index  []int32      // open addressing: 0 = empty, else state index + 1
+	words  int          // bitset words in use for the current block
+	filled int          // occupied index slots
+	bucket [][]int32    // state indices by scheduled-operator count
+	front  []int        // frontier scratch
+	stage  []int        // subset-enumeration scratch
+	probe  []graph.OpID // candidate stage handed to the cost model
+}
+
+// hashBits mixes the block's active bitset words (splitmix64 finalizer
+// over an FNV-style fold); the index capacity is a power of two, so the
+// low bits must be well distributed.
+func (s *solver) hashBits(set *bitset) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < s.words; i++ {
+		h = (h ^ set[i]) * 0xbf58476d1ce4e5b9
+	}
+	h ^= h >> 30
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// find returns the slab index of the state with the given set, or -1.
+func (s *solver) find(set *bitset) int32 {
+	mask := uint64(len(s.index) - 1)
+	for i := s.hashBits(set) & mask; ; i = (i + 1) & mask {
+		e := s.index[i]
+		if e == 0 {
+			return -1
+		}
+		if s.states[e-1].set == *set {
+			return e - 1
+		}
+	}
+}
+
+// insert records the (already appended) state at slab index si in the
+// index, growing and rehashing at 3/4 load.
+func (s *solver) insert(si int32) {
+	if (s.filled+1)*4 >= len(s.index)*3 {
+		s.rehash(len(s.index) * 2)
+	}
+	mask := uint64(len(s.index) - 1)
+	i := s.hashBits(&s.states[si].set) & mask
+	for s.index[i] != 0 {
+		i = (i + 1) & mask
+	}
+	s.index[i] = si + 1
+	s.filled++
+}
+
+func (s *solver) rehash(capacity int) {
+	if cap(s.index) >= capacity {
+		s.index = s.index[:capacity]
+		clear(s.index)
+	} else {
+		s.index = make([]int32, capacity)
+	}
+	mask := uint64(capacity - 1)
+	for si := range s.states {
+		i := s.hashBits(&s.states[si].set) & mask
+		for s.index[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.index[i] = int32(si) + 1
+	}
+}
+
+// internStage appends the probe to the arena and returns its range.
+func (s *solver) internStage(ops []graph.OpID) (int32, int32) {
+	off := int32(len(s.arena))
+	s.arena = append(s.arena, ops...)
+	return off, int32(len(ops))
+}
+
+// reset prepares the solver for a block of b operators over a graph of n.
+func (s *solver) reset(n, b int) {
+	if len(s.inBlock) < n {
+		s.inBlock = make([]int32, n)
+		for i := range s.inBlock {
+			s.inBlock[i] = -1
+		}
+	}
+	s.preds = growNested(s.preds, b)
+	for i := range s.preds {
+		s.preds[i] = s.preds[i][:0]
+	}
+	s.states = s.states[:0]
+	s.arena = s.arena[:0]
+	s.words = (b + 63) / 64
+	s.filled = 0
+	// Start small; rehash doubles as the state population grows.
+	const initialIndex = 256
+	if cap(s.index) >= initialIndex {
+		s.index = s.index[:initialIndex]
+		clear(s.index)
+	} else {
+		s.index = make([]int32, initialIndex)
+	}
+	s.bucket = growNested(s.bucket, b+1)
+	for i := range s.bucket {
+		s.bucket[i] = s.bucket[i][:0]
+	}
+}
+
+// growNested resizes a slice of slices, keeping the inner backing arrays
+// of reused entries. New entries start nil.
+func growNested[T any](buf [][]T, n int) [][]T {
+	if cap(buf) < n {
+		next := make([][]T, n)
+		copy(next, buf)
+		return next
+	}
+	return buf[:n]
 }
 
 // solveBlock runs the IOS dynamic program on one block and returns the
-// optimal (or beam-pruned) stage decomposition in execution order.
-func solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, opt Options) ([][]graph.OpID, error) {
+// optimal (or beam-pruned) stage decomposition in execution order. The
+// returned stage slices are freshly allocated (the solver's arena is
+// reused by the next block).
+func (s *solver) solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, opt Options) ([][]graph.OpID, error) {
 	b := len(block)
 	if b == 1 {
 		return [][]graph.OpID{{block[0]}}, nil
@@ -42,17 +179,23 @@ func solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, opt Options) (
 	if b > maxBlockOps {
 		return nil, fmt.Errorf("ios: block of %d operators exceeds the %d-operator limit", b, maxBlockOps)
 	}
-	inBlock := make(map[graph.OpID]int, b)
+	s.reset(g.NumOps(), b)
 	for i, v := range block {
-		inBlock[v] = i
+		s.inBlock[v] = int32(i)
 	}
 	// Local predecessor lists (only intra-block edges constrain the DP;
 	// inter-block inputs come from earlier blocks, already complete).
-	preds := make([][]int, b)
+	// inBlock entries are restored to -1 before returning so the next
+	// block (or the next graph) starts clean.
+	defer func() {
+		for _, v := range block {
+			s.inBlock[v] = -1
+		}
+	}()
 	for i, v := range block {
 		g.Preds(v, func(u graph.OpID, _ float64) {
-			if j, ok := inBlock[u]; ok {
-				preds[i] = append(preds[i], j)
+			if j := s.inBlock[u]; j >= 0 {
+				s.preds[i] = append(s.preds[i], int(j))
 			}
 		})
 	}
@@ -61,65 +204,101 @@ func solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, opt Options) (
 		beam = 0 // exact within small blocks
 	}
 
-	start := &dpState{}
-	states := map[bitset]*dpState{start.set: start}
+	// State 0 is the empty start state.
+	s.states = append(s.states, dpState{prev: -1})
+	s.insert(0)
 	// Buckets by number of scheduled operators, processed in order; every
 	// transition strictly increases the count, so each bucket is final
 	// when processed.
-	buckets := make([][]*dpState, b+1)
-	buckets[0] = []*dpState{start}
+	s.bucket[0] = append(s.bucket[0], 0)
 
 	// probe is the scratch operator list handed to the cost model for
 	// every enumerated candidate. No cost.Model implementation retains
 	// the slice (GraphModel is pure; CostTable keys by value), so one
-	// buffer serves the whole enumeration and a fresh copy is made only
-	// when a candidate actually becomes a DP state's stage.
-	var frontier []int
-	probe := make([]graph.OpID, 0, opt.MaxStage)
+	// buffer serves the whole enumeration and the members are interned
+	// into the arena only when a candidate actually becomes (or improves)
+	// a DP state's stage.
+	if cap(s.probe) < opt.MaxStage {
+		s.probe = make([]graph.OpID, 0, opt.MaxStage)
+	}
+	if cap(s.stage) < opt.MaxStage {
+		s.stage = make([]int, 0, opt.MaxStage)
+	}
+	// curSet/curCost are the expanding state's fields, copied out of the
+	// slab so the visit closure (allocated once per block) never holds a
+	// pointer into the growable slab.
+	var curSet bitset
+	var curCost units.Millis
+	curIdx := int32(0)
+	visit := func(stage []int) {
+		nset := curSet
+		s.probe = s.probe[:0]
+		for _, li := range stage {
+			nset.set(li)
+			s.probe = append(s.probe, block[li])
+		}
+		t := m.StageTime(s.probe)
+		ncost := curCost + t
+		if oi := s.find(&nset); oi >= 0 {
+			old := &s.states[oi]
+			if ncost < old.cost {
+				old.cost = ncost
+				old.prev = curIdx
+				// Stage-slice interning: overwrite the state's arena
+				// range in place when the improved stage fits (ranges
+				// are exclusive per state), append a fresh range only
+				// when it grew. The old code allocated a copy on every
+				// better-cost hit.
+				if int32(len(s.probe)) <= old.stageLen {
+					copy(s.arena[old.stageOff:], s.probe)
+					old.stageLen = int32(len(s.probe))
+				} else {
+					old.stageOff, old.stageLen = s.internStage(s.probe)
+				}
+			}
+			return
+		}
+		off, ln := s.internStage(s.probe)
+		ns := dpState{
+			set:      nset,
+			cost:     ncost,
+			prev:     curIdx,
+			stageOff: off,
+			stageLen: ln,
+			count:    s.states[curIdx].count + int32(len(stage)),
+		}
+		s.states = append(s.states, ns)
+		si := int32(len(s.states) - 1)
+		s.insert(si)
+		s.bucket[ns.count] = append(s.bucket[ns.count], si)
+	}
+
 	for c := 0; c < b; c++ {
-		bucket := buckets[c]
+		bucket := s.bucket[c]
 		if beam > 0 && len(bucket) > beam {
 			sort.Slice(bucket, func(i, j int) bool {
+				a, z := &s.states[bucket[i]], &s.states[bucket[j]]
 				// Exact IEEE inequality keeps this tie-break a strict
 				// weak order; an epsilon compare would not.
-				if bucket[i].cost != bucket[j].cost { //lint:floatexact
-					return bucket[i].cost < bucket[j].cost
+				if a.cost != z.cost { //lint:floatexact
+					return a.cost < z.cost
 				}
-				return less(bucket[i].set, bucket[j].set)
+				return less(a.set, z.set)
 			})
 			bucket = bucket[:beam]
 		}
-		for _, st := range bucket {
-			frontier = frontierOf(st.set, preds, b, frontier[:0])
-			if len(frontier) == 0 {
+		for _, si := range bucket {
+			st := &s.states[si]
+			s.front = frontierOf(st.set, s.preds[:b], b, s.front[:0])
+			if len(s.front) == 0 {
 				return nil, fmt.Errorf("ios: empty frontier with %d/%d scheduled (cyclic block?)", c, b)
 			}
-			fr := frontier
+			fr := s.front
 			if len(fr) > opt.PruneWindow {
 				fr = fr[:opt.PruneWindow]
 			}
-			enumerateStages(fr, opt.MaxStage, func(stage []int) {
-				nset := st.set
-				probe = probe[:0]
-				for _, li := range stage {
-					nset.set(li)
-					probe = append(probe, block[li])
-				}
-				t := m.StageTime(probe)
-				ncost := st.cost + t
-				if old, ok := states[nset]; ok {
-					if ncost < old.cost {
-						old.cost = ncost
-						old.prev = st.set
-						old.stage = append([]graph.OpID(nil), probe...)
-					}
-					return
-				}
-				ops := append([]graph.OpID(nil), probe...)
-				ns := &dpState{set: nset, cost: ncost, prev: st.set, stage: ops, count: c + len(stage)}
-				states[nset] = ns
-				buckets[ns.count] = append(buckets[ns.count], ns)
-			})
+			curSet, curCost, curIdx = st.set, st.cost, si
+			s.stage = enumStages(fr, opt.MaxStage, s.stage[:0], 0, visit)
 		}
 	}
 
@@ -127,19 +306,20 @@ func solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, opt Options) (
 	for i := 0; i < b; i++ {
 		full.set(i)
 	}
-	end, ok := states[full]
-	if !ok || math.IsInf(float64(end.cost), 1) {
+	end := s.find(&full)
+	if end < 0 {
 		return nil, fmt.Errorf("ios: dynamic program did not reach the full state (beam too narrow?)")
 	}
-	// Walk predecessors back to the empty state.
+	// Walk predecessors back to the empty state, copying each stage out
+	// of the arena (the arena is recycled for the next block).
 	var rev [][]graph.OpID
-	for cur := end; len(cur.stage) > 0; {
-		rev = append(rev, cur.stage)
-		nxt, ok := states[cur.prev]
-		if !ok {
+	for cur := end; s.states[cur].stageLen > 0; {
+		st := &s.states[cur]
+		rev = append(rev, append([]graph.OpID(nil), s.arena[st.stageOff:st.stageOff+st.stageLen]...))
+		if st.prev < 0 {
 			return nil, fmt.Errorf("ios: broken DP back-pointer")
 		}
-		cur = nxt
+		cur = st.prev
 	}
 	out := make([][]graph.OpID, len(rev))
 	for i := range rev {
@@ -179,25 +359,23 @@ func frontierOf(set bitset, preds [][]int, b int, out []int) []int {
 	return out
 }
 
-// enumerateStages calls fn with every non-empty subset of frontier with at
-// most maxStage members. The subset slice is reused; fn must copy what it
-// keeps (solveBlock translates it into its probe buffer immediately).
-func enumerateStages(frontier []int, maxStage int, fn func(stage []int)) {
-	r := len(frontier)
-	stage := make([]int, 0, maxStage)
-	var rec func(i int)
-	rec = func(i int) {
-		if len(stage) > 0 {
-			fn(stage)
-		}
-		if i >= r || len(stage) >= maxStage {
-			return
-		}
-		for j := i; j < r; j++ {
-			stage = append(stage, frontier[j])
-			rec(j + 1)
-			stage = stage[:len(stage)-1]
-		}
+// enumStages calls fn with every non-empty subset of frontier[i:]
+// extending the current stage prefix, capped at maxStage members. The
+// stage slice is reused across the recursion (and returned so appends
+// propagate); fn must copy what it keeps — solveBlock translates each
+// candidate into its probe buffer immediately. A plain recursive function
+// (not a closure pair) so the enumeration itself performs no allocation.
+func enumStages(frontier []int, maxStage int, stage []int, i int, fn func(stage []int)) []int {
+	if len(stage) > 0 {
+		fn(stage)
 	}
-	rec(0)
+	if i >= len(frontier) || len(stage) >= maxStage {
+		return stage
+	}
+	for j := i; j < len(frontier); j++ {
+		stage = append(stage, frontier[j])
+		stage = enumStages(frontier, maxStage, stage, j+1, fn)
+		stage = stage[:len(stage)-1]
+	}
+	return stage
 }

@@ -91,8 +91,9 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 	if n == 0 {
 		return sched.Result{Schedule: s, Latency: 0}, nil
 	}
+	var sv solver // scratch shared by every block of this call
 	for _, block := range Blocks(g) {
-		stages, err := solveBlock(g, m, block, opt)
+		stages, err := sv.solveBlock(g, m, block, opt)
 		if err != nil {
 			return sched.Result{}, err
 		}
@@ -121,7 +122,8 @@ func SolveSequence(g *graph.Graph, m cost.Model, ops []graph.OpID, opt Options) 
 	if len(ops) == 0 {
 		return nil, nil
 	}
-	return solveBlock(g, m, ops, opt)
+	var sv solver
+	return sv.solveBlock(g, m, ops, opt)
 }
 
 // Blocks partitions the operators into independent scheduling blocks. An
