@@ -16,7 +16,10 @@
 // The exit status is nonzero when any benchmark present in both files
 // regresses past the thresholds (-max-ns-ratio, -max-allocs-ratio), so
 // a CI job can gate on it; benchmarks present on only one side are
-// reported but never fail the diff.
+// reported but never fail the diff. -filter restricts the comparison to
+// benchmark keys matching a regular expression, so CI can gate tightly
+// on the stable scheduler/serving benchmarks while the full diff stays
+// advisory.
 package main
 
 import (
@@ -59,6 +62,7 @@ func main() {
 		newPath       = flag.String("new", "", "candidate BENCH_*.json (diff mode)")
 		maxNsRatio    = flag.Float64("max-ns-ratio", 1.5, "fail when new/old ns per op exceeds this")
 		maxAllocRatio = flag.Float64("max-allocs-ratio", 1.1, "fail when new/old allocs per op exceeds this")
+		filter        = flag.String("filter", "", "diff only benchmark keys matching this regular expression")
 	)
 	flag.Parse()
 
@@ -69,7 +73,7 @@ func main() {
 			os.Exit(2)
 		}
 	case *oldPath != "" && *newPath != "":
-		regressed, err := runDiff(*oldPath, *newPath, *maxNsRatio, *maxAllocRatio)
+		regressed, err := runDiff(*oldPath, *newPath, *maxNsRatio, *maxAllocRatio, *filter)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hios-benchdiff:", err)
 			os.Exit(2)
@@ -202,7 +206,7 @@ func load(path string) (file, error) {
 	return doc, nil
 }
 
-func runDiff(oldPath, newPath string, maxNs, maxAllocs float64) (bool, error) {
+func runDiff(oldPath, newPath string, maxNs, maxAllocs float64, filter string) (bool, error) {
 	oldDoc, err := load(oldPath)
 	if err != nil {
 		return false, err
@@ -211,10 +215,19 @@ func runDiff(oldPath, newPath string, maxNs, maxAllocs float64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	var keep *regexp.Regexp
+	if filter != "" {
+		keep, err = regexp.Compile(filter)
+		if err != nil {
+			return false, fmt.Errorf("bad -filter: %w", err)
+		}
+	}
 
 	names := make([]string, 0, len(oldDoc.Benchmarks))
 	for name := range oldDoc.Benchmarks {
-		names = append(names, name)
+		if keep == nil || keep.MatchString(name) {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 
@@ -246,10 +259,19 @@ func runDiff(oldPath, newPath string, maxNs, maxAllocs float64) (bool, error) {
 		}
 		fmt.Fprintf(w, "%-55s %12.3f %14s%s\n", name, nsRatio, allocStr, mark)
 	}
+	// Benchmarks absent from the baseline, in sorted (deterministic) order.
+	added := make([]string, 0, len(newDoc.Benchmarks))
 	for name := range newDoc.Benchmarks {
-		if _, ok := oldDoc.Benchmarks[name]; !ok {
-			fmt.Fprintf(w, "%-55s %12s %14s\n", name, "new", "new")
+		if keep != nil && !keep.MatchString(name) {
+			continue
 		}
+		if _, ok := oldDoc.Benchmarks[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(w, "%-55s %12s %14s\n", name, "new", "new")
 	}
 	if regressed {
 		fmt.Fprintf(w, "\nFAIL: regression past thresholds (ns > %.2fx, allocs > %.2fx)\n", maxNs, maxAllocs)

@@ -1,3 +1,5 @@
 module github.com/shus-lab/hios
 
 go 1.24
+
+toolchain go1.24.0

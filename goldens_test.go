@@ -1,0 +1,91 @@
+package hios_test
+
+// Width-equivalence goldens: the allocation burn-down of the LP, MR and
+// window hot paths (DESIGN.md "Hot-path allocation discipline") must not
+// change a single byte of any schedule. These tests pin the serialized
+// output of every algorithm on fixed random models against golden files
+// captured from the pre-burn-down implementations; any divergence means a
+// "pure optimization" altered scheduling decisions.
+//
+// Regenerate (only when an intentional algorithmic change is made) with:
+//
+//	HIOS_UPDATE_GOLDENS=1 go test -run TestGoldenSchedules .
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	hios "github.com/shus-lab/hios"
+)
+
+type goldenConfig struct {
+	ops, layers, deps int
+	seed              int64
+	gpus              int
+}
+
+// goldenConfigs covers a small 2-GPU and a wider 4-GPU instance; both are
+// sized so the full six-algorithm sweep stays in test-suite budget.
+var goldenConfigs = []goldenConfig{
+	{ops: 60, layers: 8, deps: 120, seed: 7, gpus: 2},
+	{ops: 100, layers: 10, deps: 200, seed: 13, gpus: 4},
+}
+
+func goldenPath(algo hios.Algorithm, c goldenConfig) string {
+	return filepath.Join("testdata", "goldens",
+		fmt.Sprintf("%s_s%d_g%d.json", algo, c.seed, c.gpus))
+}
+
+func goldenSchedule(t *testing.T, algo hios.Algorithm, c goldenConfig) []byte {
+	t.Helper()
+	cfg := hios.RandomModelDefaults()
+	cfg.Ops = c.ops
+	cfg.Layers = c.layers
+	cfg.Deps = c.deps
+	cfg.Seed = c.seed
+	g, err := hios.RandomModel(cfg)
+	if err != nil {
+		t.Fatalf("RandomModel: %v", err)
+	}
+	m := hios.DefaultCostModel(g)
+	res, err := hios.Optimize(g, m, algo, hios.Options{GPUs: c.gpus})
+	if err != nil {
+		t.Fatalf("Optimize(%s): %v", algo, err)
+	}
+	data, err := hios.ExportJSON(g, res.Schedule, "goldens", algo, res.Latency)
+	if err != nil {
+		t.Fatalf("ExportJSON(%s): %v", algo, err)
+	}
+	return data
+}
+
+func TestGoldenSchedules(t *testing.T) {
+	update := os.Getenv("HIOS_UPDATE_GOLDENS") != ""
+	for _, c := range goldenConfigs {
+		for _, algo := range hios.Algorithms() {
+			t.Run(fmt.Sprintf("%s/s%d_g%d", algo, c.seed, c.gpus), func(t *testing.T) {
+				got := goldenSchedule(t, algo, c)
+				path := goldenPath(algo, c)
+				if update {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden %s (regenerate with HIOS_UPDATE_GOLDENS=1): %v", path, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s schedule diverged from golden %s: an optimization changed scheduling decisions (run with HIOS_UPDATE_GOLDENS=1 only if the change is intentional)", algo, path)
+				}
+			})
+		}
+	}
+}

@@ -6,6 +6,9 @@ import (
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/gpu"
 	"github.com/shus-lab/hios/internal/randdag"
+	"github.com/shus-lab/hios/internal/sched/lp"
+	"github.com/shus-lab/hios/internal/sched/mr"
+	"github.com/shus-lab/hios/internal/sched/window"
 )
 
 // Scheduler micro-benchmarks on the paper's default random model (200
@@ -47,6 +50,51 @@ func BenchmarkSchedulerInterLP4GPUs(b *testing.B) {
 }
 func BenchmarkSchedulerHIOSLP12GPUs(b *testing.B) {
 	benchAlgo(b, AlgoHIOSLP, 12)
+}
+
+// The LP / MR / window trio isolates the three burn-down targets of the
+// hot-path allocation discipline (hotalloc): the LP longest-path mapping
+// loop, the MR table fill, and the sliding-window refiner, each without
+// the other passes, so BENCH_*.json shows their allocs/op individually.
+
+func BenchmarkSchedulerLP(b *testing.B) {
+	g := randdag.MustGenerate(benchGraphAndModel())
+	m := cost.FromGraph(g, cost.DefaultContention())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.Schedule(g, m, lp.Options{GPUs: 4, InterOnly: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulerMR(b *testing.B) {
+	g := randdag.MustGenerate(benchGraphAndModel())
+	m := cost.FromGraph(g, cost.DefaultContention())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mr.Schedule(g, m, mr.Options{GPUs: 4, InterOnly: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWindowRefine(b *testing.B) {
+	g := randdag.MustGenerate(benchGraphAndModel())
+	m := cost.FromGraph(g, cost.DefaultContention())
+	base, err := lp.Schedule(g, m, lp.Options{GPUs: 4, InterOnly: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := window.Parallelize(g, m, base.Schedule, window.DefaultSize); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkSchedulerHIOSLPInception runs HIOS-LP on the real Inception-v3

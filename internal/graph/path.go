@@ -22,6 +22,12 @@ package graph
 //
 // Complexity: O(|V| + |E|) per call via dynamic programming over a
 // topological order, improving on the O(|V|²·|E|) bound the paper states.
+//
+// HIOS-LP calls this once per extracted path, so the adjacency callbacks
+// below are allocated once per call (not per vertex): each captures the
+// shared cursor cur instead of the sweep's loop variable.
+//
+//lint:hotpath
 func (g *Graph) LongestValidPath(unscheduled []bool) ([]OpID, float64) {
 	n := len(g.ops)
 	order, err := g.TopoOrder()
@@ -39,26 +45,30 @@ func (g *Graph) LongestValidPath(unscheduled []bool) ([]OpID, float64) {
 	boundary := make([]bool, n)
 	startBonus := make([]float64, n)
 	endBonus := make([]float64, n)
+	var cur OpID
+	markPred := func(from OpID, transfer float64) {
+		if !unscheduled[from] {
+			boundary[cur] = true
+			if transfer > startBonus[cur] {
+				startBonus[cur] = transfer
+			}
+		}
+	}
+	markSucc := func(to OpID, transfer float64) {
+		if !unscheduled[to] {
+			boundary[cur] = true
+			if transfer > endBonus[cur] {
+				endBonus[cur] = transfer
+			}
+		}
+	}
 	for v := 0; v < n; v++ {
 		if !unscheduled[v] {
 			continue
 		}
-		g.Preds(OpID(v), func(from OpID, transfer float64) {
-			if !unscheduled[from] {
-				boundary[v] = true
-				if transfer > startBonus[v] {
-					startBonus[v] = transfer
-				}
-			}
-		})
-		g.Succs(OpID(v), func(to OpID, transfer float64) {
-			if !unscheduled[to] {
-				boundary[v] = true
-				if transfer > endBonus[v] {
-					endBonus[v] = transfer
-				}
-			}
-		})
+		cur = OpID(v)
+		g.Preds(cur, markPred)
+		g.Succs(cur, markSucc)
 	}
 
 	// ext[v]: length of the longest valid path ending at v in which every
@@ -72,6 +82,25 @@ func (g *Graph) LongestValidPath(unscheduled []bool) ([]OpID, float64) {
 		parent[i] = None
 	}
 
+	extend := func(from OpID, transfer float64) {
+		if !unscheduled[from] {
+			return
+		}
+		// Extending through `from` makes it an interior vertex
+		// of any longer path — unless `from` is the first
+		// vertex. A boundary predecessor may therefore only
+		// contribute as a path start: its usable length is the
+		// single-vertex path (with its own start bonus).
+		extendFrom := ext[from]
+		if boundary[from] {
+			extendFrom = g.ops[from].Time + startBonus[from]
+		}
+		if l := g.ops[cur].Time + transfer + extendFrom; l > ext[cur] {
+			ext[cur] = l
+			parent[cur] = from
+		}
+	}
+
 	bestEnd := None
 	bestLen := 0.0
 	for _, v := range order {
@@ -81,24 +110,8 @@ func (g *Graph) LongestValidPath(unscheduled []bool) ([]OpID, float64) {
 		// Base case: the path starts at v; the incoming boundary edge
 		// (if any) counts because v is the first vertex.
 		ext[v] = g.ops[v].Time + startBonus[v]
-		g.Preds(v, func(from OpID, transfer float64) {
-			if !unscheduled[from] {
-				return
-			}
-			// Extending through `from` makes it an interior vertex
-			// of any longer path — unless `from` is the first
-			// vertex. A boundary predecessor may therefore only
-			// contribute as a path start: its usable length is the
-			// single-vertex path (with its own start bonus).
-			extendFrom := ext[from]
-			if boundary[from] {
-				extendFrom = g.ops[from].Time + startBonus[from]
-			}
-			if l := g.ops[v].Time + transfer + extendFrom; l > ext[v] {
-				ext[v] = l
-				parent[v] = from
-			}
-		})
+		cur = v
+		g.Preds(v, extend)
 		// Candidate full path ending at v: add the outgoing boundary
 		// edge, since v is the last vertex.
 		if total := ext[v] + endBonus[v]; bestEnd == None || total > bestLen {
@@ -115,7 +128,7 @@ func (g *Graph) LongestValidPath(unscheduled []bool) ([]OpID, float64) {
 	// parent pointer is only followed when ext (not the start-only
 	// length) was used. We must therefore cut the walk at the first
 	// boundary vertex after the end vertex.
-	var rev []OpID
+	rev := make([]OpID, 0, n)
 	v := bestEnd
 	for {
 		rev = append(rev, v)

@@ -52,7 +52,7 @@ var detClockForbidden = map[string]map[string]bool{
 }
 
 func runDetClock(pass *analysis.Pass) error {
-	if !inScope(pass.Path, "internal/sim", "internal/sched", "internal/cost", "internal/profile", "internal/randdag", "internal/serve") {
+	if !inScope(pass.Path, "internal/sim", "internal/sched", "internal/cost", "internal/profile", "internal/randdag", "internal/serve", "cmd") {
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -1,0 +1,610 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/shus-lab/hios/internal/lint/analysis"
+)
+
+// HotAlloc enforces the hot-path allocation discipline (DESIGN.md
+// "Hot-path allocation discipline"). A function marked with a
+// `//lint:hotpath` comment (on the `func` line or the line above, e.g. as
+// the last line of its doc comment) becomes a call-graph root: the
+// analyzer propagates hotness through static calls to functions and
+// methods declared in the same package — cross-package hot callees carry
+// their own `//lint:hotpath` annotation, and propagation never crosses
+// the module boundary — and flags the allocation sources inside hot code:
+//
+//   - make / new in a loop (accepted inside a cap()-guarded grow branch,
+//     the scratch-buffer idiom of sched.growSlice);
+//   - slice and map literals, and address-taken composite literals, in a
+//     loop (plain struct values stay on the stack and are not flagged);
+//   - append in a loop to a local slice declared without capacity;
+//   - closures capturing outer variables in a loop (one closure object
+//     per iteration);
+//   - interface boxing at call sites in a loop: a concrete non-pointer
+//     value passed to an interface parameter or converted to an
+//     interface type allocates per call (container/heap's `any` boxing
+//     is the canonical offender);
+//   - fmt.* calls and non-constant string concatenation anywhere in hot
+//     code — except inside return statements and panic arguments, the
+//     cold error paths.
+//
+// A deliberate allocation (setup work, amortized growth the analyzer
+// cannot see) is suppressed line by line with `//lint:hotalloc`.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocation sources in code reachable from //lint:hotpath roots",
+	Run:  runHotAlloc,
+}
+
+// inModule reports whether pkg is a package of this module. hotalloc and
+// seedflow are module-wide: annotations and seed helpers are conventions
+// of this repository, so foreign code is never analyzed — which is also
+// why hot-path propagation stops at the module boundary.
+func inModule(pkg string) bool {
+	return pkg == ModulePath || inScope(pkg, "internal", "cmd")
+}
+
+func runHotAlloc(pass *analysis.Pass) error {
+	if !inModule(pass.Path) {
+		return nil
+	}
+
+	// Collect this package's function declarations, in file order so
+	// root attribution is deterministic.
+	type declFunc struct {
+		fn *types.Func
+		fd *ast.FuncDecl
+	}
+	var decls []declFunc
+	byFunc := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, declFunc{fn, fd})
+			byFunc[fn] = fd
+		}
+	}
+
+	// Roots, then breadth-first propagation through same-package static
+	// calls. A callee reached from several roots keeps the first (the
+	// attribution only affects the message).
+	hot := make(map[*types.Func]string)
+	var queue []*types.Func
+	for _, d := range decls {
+		if pass.IsTestFile(d.fd.Pos()) {
+			continue
+		}
+		if pass.Suppressed("hotpath", d.fd.Pos()) {
+			hot[d.fn] = d.fn.Name()
+			queue = append(queue, d.fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		root := hot[fn]
+		ast.Inspect(byFunc[fn].Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(pass, call)
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, ok := byFunc[callee]; !ok {
+				return true
+			}
+			if _, seen := hot[callee]; !seen {
+				hot[callee] = root
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	// Check every hot function, in declaration order.
+	for _, d := range decls {
+		root, ok := hot[d.fn]
+		if !ok {
+			continue
+		}
+		c := &hotAllocChecker{
+			pass:  pass,
+			root:  root,
+			noCap: make(map[types.Object]bool),
+		}
+		c.collectLocalSlices(d.fd.Body)
+		c.stmt(d.fd.Body, ctx{})
+	}
+	return nil
+}
+
+// staticCallee resolves a call expression to the declared function or
+// method it statically invokes (nil for builtins, conversions, function
+// values and interface-method calls).
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// ctx is the walking context of the checker: whether the current node is
+// inside a loop, inside a cap()-guarded grow branch, or on a cold error
+// path (return / panic), plus whether an enclosing string concatenation
+// was already reported.
+type ctx struct {
+	loop     bool
+	capGuard bool
+	cold     bool
+	inConcat bool
+}
+
+type hotAllocChecker struct {
+	pass  *analysis.Pass
+	root  string
+	noCap map[types.Object]bool // local slices declared without capacity
+}
+
+func (c *hotAllocChecker) reportf(pos token.Pos, format string, args ...any) {
+	if c.pass.Suppressed("hotalloc", pos) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// collectLocalSlices records the function's local slice variables that
+// are declared without spare capacity: `var xs []T`, `xs := []T{}` and
+// 1- or 2-argument make (a 3-argument make pre-sizes the capacity).
+func (c *hotAllocChecker) collectLocalSlices(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := c.pass.Info.Defs[name]
+					if obj != nil && isSliceType(obj.Type()) {
+						c.noCap[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := c.pass.Info.Defs[id]
+				if obj == nil || !isSliceType(obj.Type()) {
+					continue
+				}
+				switch rhs := ast.Unparen(n.Rhs[i]).(type) {
+				case *ast.CompositeLit:
+					if len(rhs.Elts) == 0 {
+						c.noCap[obj] = true
+					}
+				case *ast.CallExpr:
+					if isBuiltin(c.pass, rhs.Fun, "make") && len(rhs.Args) < 3 {
+						c.noCap[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isSliceType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// stmt walks a statement, maintaining the loop / guard / cold context.
+func (c *hotAllocChecker) stmt(s ast.Stmt, x ctx) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			c.stmt(st, x)
+		}
+	case *ast.ForStmt:
+		c.stmt(s.Init, x)
+		c.expr(s.Cond, x)
+		in := x
+		in.loop = true
+		c.stmt(s.Post, in)
+		c.stmt(s.Body, in)
+	case *ast.RangeStmt:
+		c.expr(s.X, x)
+		in := x
+		in.loop = true
+		c.stmt(s.Body, in)
+	case *ast.IfStmt:
+		c.stmt(s.Init, x)
+		c.expr(s.Cond, x)
+		then := x
+		if mentionsCap(s.Cond) {
+			then.capGuard = true
+		}
+		c.stmt(s.Body, then)
+		c.stmt(s.Else, x)
+	case *ast.ReturnStmt:
+		cold := x
+		cold.cold = true
+		for _, r := range s.Results {
+			c.expr(r, cold)
+		}
+	case *ast.ExprStmt:
+		c.expr(s.X, x)
+	case *ast.AssignStmt:
+		c.checkAppendGrowth(s, x)
+		for _, e := range s.Rhs {
+			c.expr(e, x)
+		}
+		for _, e := range s.Lhs {
+			c.expr(e, x)
+		}
+	case *ast.SwitchStmt:
+		c.stmt(s.Init, x)
+		c.expr(s.Tag, x)
+		c.stmt(s.Body, x)
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init, x)
+		c.stmt(s.Assign, x)
+		c.stmt(s.Body, x)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			c.expr(e, x)
+		}
+		for _, st := range s.Body {
+			c.stmt(st, x)
+		}
+	case *ast.SelectStmt:
+		c.stmt(s.Body, x)
+	case *ast.CommClause:
+		c.stmt(s.Comm, x)
+		for _, st := range s.Body {
+			c.stmt(st, x)
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, x)
+	case *ast.GoStmt:
+		c.expr(s.Call, x)
+	case *ast.DeferStmt:
+		c.expr(s.Call, x)
+	case *ast.SendStmt:
+		c.expr(s.Chan, x)
+		c.expr(s.Value, x)
+	case *ast.IncDecStmt:
+		c.expr(s.X, x)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, x)
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr walks an expression, reporting allocation sources per the context.
+func (c *hotAllocChecker) expr(e ast.Expr, x ctx) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		c.checkCall(e, x)
+	case *ast.CompositeLit:
+		c.checkCompositeLit(e, x, false)
+	case *ast.UnaryExpr:
+		if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok && e.Op == token.AND {
+			c.checkCompositeLit(lit, x, true)
+			return
+		}
+		c.expr(e.X, x)
+	case *ast.FuncLit:
+		if x.loop && !x.cold && c.captures(e) {
+			c.reportf(e.Pos(), "hot path (via %s): closure captures variables inside a loop, allocating one closure object per iteration; hoist it out of the loop", c.root)
+		}
+		// The literal's body is hot code too, but its own loop context
+		// starts fresh: the closure runs when called, not per enclosing
+		// iteration.
+		c.collectLocalSlices(e.Body)
+		c.stmt(e.Body, ctx{cold: x.cold})
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD && !x.cold && !x.inConcat && c.isNonConstString(e) {
+			c.reportf(e.Pos(), "hot path (via %s): string concatenation allocates; build into a reusable buffer or move formatting off the hot path", c.root)
+			in := x
+			in.inConcat = true
+			c.expr(e.X, in)
+			c.expr(e.Y, in)
+			return
+		}
+		c.expr(e.X, x)
+		c.expr(e.Y, x)
+	case *ast.ParenExpr:
+		c.expr(e.X, x)
+	case *ast.SelectorExpr:
+		c.expr(e.X, x)
+	case *ast.IndexExpr:
+		c.expr(e.X, x)
+		c.expr(e.Index, x)
+	case *ast.IndexListExpr:
+		c.expr(e.X, x)
+		for _, i := range e.Indices {
+			c.expr(i, x)
+		}
+	case *ast.SliceExpr:
+		c.expr(e.X, x)
+		c.expr(e.Low, x)
+		c.expr(e.High, x)
+		c.expr(e.Max, x)
+	case *ast.StarExpr:
+		c.expr(e.X, x)
+	case *ast.TypeAssertExpr:
+		c.expr(e.X, x)
+	case *ast.KeyValueExpr:
+		c.expr(e.Key, x)
+		c.expr(e.Value, x)
+	}
+}
+
+// checkCall handles make/new, fmt.*, interface conversions and interface
+// boxing of call arguments.
+func (c *hotAllocChecker) checkCall(call *ast.CallExpr, x ctx) {
+	// panic's argument is a cold path, like a return.
+	if isBuiltin(c.pass, call.Fun, "panic") {
+		cold := x
+		cold.cold = true
+		for _, a := range call.Args {
+			c.expr(a, cold)
+		}
+		return
+	}
+
+	if x.loop && !x.capGuard && !x.cold {
+		if isBuiltin(c.pass, call.Fun, "make") {
+			c.reportf(call.Pos(), "hot path (via %s): make inside a loop allocates every iteration; hoist it or grow a reusable scratch buffer behind a cap() guard", c.root)
+		} else if isBuiltin(c.pass, call.Fun, "new") {
+			c.reportf(call.Pos(), "hot path (via %s): new inside a loop allocates every iteration; reuse a scratch value instead", c.root)
+		}
+	}
+
+	isFmt := false
+	if pkg, name, ok := c.pass.PkgFunc(call.Fun); ok && pkg == "fmt" {
+		isFmt = true
+		if !x.cold {
+			c.reportf(call.Pos(), "hot path (via %s): fmt.%s allocates (interface boxing plus formatting); move it off the hot path or behind //lint:hotalloc", c.root, name)
+		}
+	}
+
+	// Interface conversion T(x) and interface-boxing arguments (the fmt
+	// diagnostic above already covers a fmt call's boxing).
+	if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if x.loop && !x.cold && types.IsInterface(tv.Type) && len(call.Args) == 1 && c.boxes(call.Args[0]) {
+			c.reportf(call.Pos(), "hot path (via %s): conversion to interface type in a loop allocates; keep the concrete type", c.root)
+		}
+	} else if x.loop && !x.cold && !isFmt {
+		if sig, ok := typeOf(c.pass, call.Fun).(*types.Signature); ok && sig != nil {
+			c.checkBoxing(call, sig)
+		}
+	}
+
+	c.expr(call.Fun, x)
+	for _, a := range call.Args {
+		c.expr(a, x)
+	}
+}
+
+// checkBoxing flags concrete values boxed into interface parameters.
+func (c *hotAllocChecker) checkBoxing(call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // the slice is passed through, no boxing
+			}
+			s, ok := params.At(np - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = s.Elem()
+		case i < np:
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		if _, isTP := pt.(*types.TypeParam); isTP {
+			continue
+		}
+		if c.boxes(arg) {
+			c.reportf(arg.Pos(), "hot path (via %s): argument boxes into an interface parameter inside a loop, allocating per call; use a concrete-typed API", c.root)
+		}
+	}
+}
+
+// boxes reports whether passing arg to an interface allocates: a concrete
+// non-pointer-shaped, non-constant value does; interfaces, pointers,
+// maps, channels, funcs and compile-time constants do not.
+func (c *hotAllocChecker) boxes(arg ast.Expr) bool {
+	tv, ok := c.pass.Info.Types[arg]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	t := tv.Type
+	if t == types.Typ[types.UntypedNil] {
+		return false
+	}
+	if types.IsInterface(t) {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// checkCompositeLit flags allocating literals in loops: slice and map
+// literals always allocate; struct literals only when address-taken.
+func (c *hotAllocChecker) checkCompositeLit(lit *ast.CompositeLit, x ctx, addrTaken bool) {
+	if x.loop && !x.capGuard && !x.cold {
+		kind := ""
+		switch typeOf(c.pass, lit).Underlying().(type) {
+		case *types.Slice:
+			kind = "slice literal"
+		case *types.Map:
+			kind = "map literal"
+		default:
+			if addrTaken {
+				kind = "address-taken composite literal"
+			}
+		}
+		if kind != "" {
+			c.reportf(lit.Pos(), "hot path (via %s): %s inside a loop allocates every iteration; reuse a scratch value", c.root, kind)
+		}
+	}
+	for _, e := range lit.Elts {
+		c.expr(e, x)
+	}
+}
+
+// checkAppendGrowth flags `xs = append(xs, ...)` in a loop when xs is a
+// local slice declared without capacity: every growth reallocates.
+func (c *hotAllocChecker) checkAppendGrowth(s *ast.AssignStmt, x ctx) {
+	if !x.loop || x.cold || x.capGuard || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return
+	}
+	id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := c.pass.Info.Uses[id]
+	if obj == nil {
+		obj = c.pass.Info.Defs[id]
+	}
+	if obj == nil || !c.noCap[obj] {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isBuiltin(c.pass, call.Fun, "append") || len(call.Args) == 0 {
+		return
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || first.Name != id.Name {
+		return
+	}
+	c.reportf(s.Pos(), "hot path (via %s): append grows %s without preallocated capacity inside a loop; declare it with make(..., 0, n)", c.root, id.Name)
+}
+
+// captures reports whether a function literal references variables
+// declared outside itself (excluding package-level objects, which cost
+// nothing to reference).
+func (c *hotAllocChecker) captures(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.Info.Uses[id].(*types.Var)
+		if !ok || v.Pkg() != c.pass.Pkg {
+			return true
+		}
+		if v.Parent() == c.pass.Pkg.Scope() || v.IsField() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsCap reports whether an if-condition involves cap(...) — the
+// guarded-grow idiom `if cap(buf) < n { buf = make(...) }` is the
+// sanctioned way to allocate in hot code.
+func mentionsCap(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "cap" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isNonConstString reports whether e is a string-typed expression whose
+// value is not a compile-time constant.
+func (c *hotAllocChecker) isNonConstString(e ast.Expr) bool {
+	tv, ok := c.pass.Info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isBuiltin reports whether fun is the named predeclared builtin (not a
+// local identifier shadowing it).
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	switch pass.Info.Uses[id].(type) {
+	case nil, *types.Builtin:
+		return true
+	}
+	return false
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}

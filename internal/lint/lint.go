@@ -44,6 +44,8 @@ var registry = []registryEntry{
 	{PubAPI, ""},   // facade bypasses are never legitimate either
 	{UnitFlow, "unitless"},
 	{SharedCapture, "sharedcapture"},
+	{HotAlloc, "hotalloc"},
+	{SeedFlow, "seedflow"},
 }
 
 // Suite returns every analyzer, in reporting order.

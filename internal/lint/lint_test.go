@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/shus-lab/hios/internal/lint"
@@ -45,6 +46,29 @@ func TestSharedCapture(t *testing.T) {
 	linttest.Run(t, lint.SharedCapture, "testdata/sharedcapture", lint.ModulePath+"/internal/experiments/fixture")
 }
 
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotAlloc, "testdata/hotalloc", lint.ModulePath+"/internal/sched/fixture")
+}
+
+func TestSeedFlow(t *testing.T) {
+	linttest.Run(t, lint.SeedFlow, "testdata/seedflow", lint.ModulePath+"/internal/randdag/fixture")
+}
+
+// seedflow sanctions internal/stats as the home of seed mixing: the same
+// fixture loaded there keeps only the global-generator findings (rules 2
+// and 3 are stats-exempt; rule 1 holds module-wide).
+func TestSeedFlowStatsExemption(t *testing.T) {
+	_, _, got := linttest.Diagnostics(t, lint.SeedFlow, "testdata/seedflow", lint.ModulePath+"/internal/stats/fixture")
+	for _, d := range got {
+		if !strings.Contains(d.Message, "global rand.") {
+			t.Errorf("non-global finding inside internal/stats: %s", d.Message)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("want the 3 unsuppressed global-generator findings inside internal/stats, got %d", len(got))
+	}
+}
+
 // The analyzers are scoped by package path; the same fixture code loaded
 // under an out-of-scope import path must yield zero diagnostics.
 func TestScopeBoundaries(t *testing.T) {
@@ -63,6 +87,10 @@ func TestScopeBoundaries(t *testing.T) {
 		{"pubapi-options-lint", lint.PubAPI, "testdata/pubapioptions", lint.ModulePath + "/internal/lint/fixture"},
 		{"pubapi-options-foreign", lint.PubAPI, "testdata/pubapioptions", "example.com/outside/fixture"},
 		{"unitflow", lint.UnitFlow, "testdata/unitflow", lint.ModulePath + "/internal/stats"},
+		// hotalloc and seedflow are module-wide; out-of-module paths are
+		// the boundary — hotpath propagation and seed rules never cross it.
+		{"hotalloc", lint.HotAlloc, "testdata/hotalloc", "example.com/outside/fixture"},
+		{"seedflow", lint.SeedFlow, "testdata/seedflow", "example.com/outside/fixture"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -82,7 +110,7 @@ func TestSuiteListsAllAnalyzers(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"maporder", "floatcmp", "detclock", "pubapi", "unitflow", "sharedcapture"} {
+	for _, want := range []string{"maporder", "floatcmp", "detclock", "pubapi", "unitflow", "sharedcapture", "hotalloc", "seedflow"} {
 		if !names[want] {
 			t.Fatalf("suite is missing %s (have %v)", want, names)
 		}
@@ -99,6 +127,8 @@ func TestDirectives(t *testing.T) {
 		"pubapi":        "",
 		"unitflow":      "unitless",
 		"sharedcapture": "sharedcapture",
+		"hotalloc":      "hotalloc",
+		"seedflow":      "seedflow",
 	}
 	for name, want := range cases {
 		if got := lint.Directive(name); got != want {

@@ -1,0 +1,34 @@
+// Negative fixtures: hot-path propagation is static and bounded. It
+// never follows calls across the module boundary (the standard library
+// below allocates internally, invisibly to hotalloc), and it never
+// flows through an out-of-module callee back into module code — foreign
+// packages are simply not analyzed, as TestScopeBoundaries proves by
+// loading this same fixture under an example.com import path.
+package fixture
+
+import "strings"
+
+// boundaryRoot is hot, but the strings package is another module:
+// propagation stops at the call, so Repeat's internal allocations are
+// not findings here.
+//
+//lint:hotpath
+func boundaryRoot(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s = strings.Repeat("x", n) // clean: callee is outside the module
+	}
+	return s
+}
+
+// notReached allocates in loops but is only called from cold code, so
+// hotness never reaches it.
+func notReached(n int) []int {
+	var xs []int
+	for i := 0; i < n; i++ {
+		xs = append(xs, make([]int, 2)...)
+	}
+	return xs
+}
+
+func coldCaller(n int) { _ = notReached(n) }

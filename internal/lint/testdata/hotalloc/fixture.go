@@ -1,0 +1,127 @@
+// The hotalloc fixture: //lint:hotpath roots, same-package propagation,
+// every allocation class the analyzer flags, the idioms it accepts, and
+// //lint:hotalloc suppression. Loaded under an internal/sched path (the
+// analyzer is module-wide; TestScopeBoundaries proves it stays silent
+// outside the module).
+package fixture
+
+import "fmt"
+
+type item struct{ v int }
+
+func sink(v any) { _ = v }
+
+func consume(xs []int) { _ = xs }
+
+// root is a hot-path root; everything statically reachable from it in
+// this package is hot.
+//
+//lint:hotpath
+func root(n int) int {
+	out := make([]int, 0, n) // clean: not inside a loop
+	for i := 0; i < n; i++ {
+		buf := make([]int, 8) // want `make inside a loop`
+		_ = buf
+		out = append(out, helper(i)) // clean append: out has capacity n
+	}
+	return len(out)
+}
+
+// helper is hot by propagation from root.
+func helper(i int) int {
+	var xs []int
+	for j := 0; j < i; j++ {
+		xs = append(xs, j) // want `append grows xs without preallocated capacity`
+	}
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//lint:hotpath
+func literals(n int) {
+	for i := 0; i < n; i++ {
+		m := map[int]bool{} // want `map literal inside a loop`
+		_ = m
+		sl := []int{i} // want `slice literal inside a loop`
+		_ = sl
+		p := &item{v: i} // want `address-taken composite literal inside a loop`
+		_ = p
+		v := item{v: i} // clean: a plain struct value stays on the stack
+		_ = v
+	}
+}
+
+//lint:hotpath
+func closures(n int) {
+	limit := n * 2
+	f := func(x int) bool { return x < limit } // clean: not inside a loop
+	for i := 0; i < n; i++ {
+		g := func() int { return i + limit } // want `closure captures variables inside a loop`
+		_ = g()
+		h := func(x int) int { return x * x } // clean: captures nothing
+		_ = h(i)
+	}
+	_ = f(n)
+}
+
+//lint:hotpath
+func boxing(n int) {
+	it := item{v: 1}
+	for i := 0; i < n; i++ {
+		sink(it)       // want `boxes into an interface parameter inside a loop`
+		sink(1)        // clean: compile-time constants are statically boxed
+		sink(&it)      // clean: pointers store directly in the interface word
+		var v any = it // clean: assignment conversions are out of scope here
+		_ = v
+	}
+}
+
+//lint:hotpath
+func formatting(n int, name string) (string, error) {
+	msg := fmt.Sprintf("op %d", n) // want `fmt.Sprintf allocates`
+	label := "op:" + name          // want `string concatenation allocates`
+	const pre = "p:"
+	static := pre + "suffix" // clean: constant concatenation folds at compile time
+	_ = static
+	if n < 0 {
+		return "", fmt.Errorf("bad n %d", n) // clean: error paths are cold
+	}
+	if n > 1000 {
+		panic(fmt.Sprintf("impossible n %d", n)) // clean: panics are cold
+	}
+	_ = msg
+	return label, nil
+}
+
+// growInLoop shows the sanctioned scratch-buffer idiom: growth behind a
+// cap() guard is accepted, as is a suppressed deliberate allocation.
+//
+//lint:hotpath
+func growInLoop(n int) {
+	var buf []int
+	for i := 0; i < n; i++ {
+		if cap(buf) < i {
+			buf = make([]int, i) // clean: cap()-guarded amortized growth
+		}
+		buf = buf[:0]
+		tmp := make([]int, 4) //lint:hotalloc (deliberate, measured as free)
+		_ = tmp
+	}
+	consume(buf)
+}
+
+// cold has every pattern above but no hotpath annotation and no hot
+// caller: none of it is flagged.
+func cold(n int) {
+	var xs []int
+	for i := 0; i < n; i++ {
+		buf := make([]int, 8)
+		xs = append(xs, buf...)
+		sink(item{v: i})
+		_ = fmt.Sprintf("op %d", i)
+	}
+	consume(xs)
+}

@@ -1,0 +1,48 @@
+// The seedflow fixture: global math/rand state, laundered seed
+// arithmetic at source constructors, hand-rolled splitmix64 constants,
+// their clean counterparts, and //lint:seedflow suppression.
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func mixSeed(seed int64, i int) int64 { return seed ^ int64(i) } // helper call sites stay legal
+
+func globals() int {
+	a := rand.Intn(10)                  // want `global rand.Intn`
+	b := rand.Float64()                 // want `global rand.Float64`
+	c := randv2.IntN(10)                // want `global rand.IntN`
+	d := rand.Intn(10)                  //lint:seedflow (suppressed for the fixture)
+	rng := rand.New(rand.NewSource(42)) // clean: explicitly seeded local generator
+	return a + int(b) + c + d + rng.Intn(3)
+}
+
+func laundered(seed int64, i int) *rand.Rand {
+	bad := rand.New(rand.NewSource(seed + int64(i)))  // want `raw integer arithmetic`
+	alsoBad := rand.NewSource(int64(i)*31 + seed)     // want `raw integer arithmetic`
+	okd := rand.New(rand.NewSource(mixSeed(seed, i))) // clean: derivation through a helper
+	plain := rand.NewSource(seed)                     // clean: the base seed itself
+	_ = alsoBad
+	_ = plain
+	_ = okd
+	return bad
+}
+
+func launderedV2(seed uint64, i int) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(seed+uint64(i), seed)) // want `raw integer arithmetic`
+}
+
+func handRolled(seed int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15   // want `splitmix64 constant outside internal/stats`
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9 // want `splitmix64 constant outside internal/stats`
+	return int64(z)
+}
+
+// hashUse mirrors the IOS DP's stage-set hash: a mixer that never feeds
+// an RNG is a legitimate, suppressible use.
+func hashUse(x uint64) uint64 {
+	h := x * 0x94d049bb133111eb //lint:seedflow (hash mixing, no RNG involved)
+	return h ^ (h >> 31)
+}

@@ -74,18 +74,17 @@ func LatencyPartial(g *graph.Graph, m cost.Model, s *Schedule) (units.Millis, er
 	return e.LatencyPartial(g, m, s)
 }
 
-// depEdge is one precedence constraint between stages:
-// start(to) >= finish(from) + lag.
-type depEdge struct {
-	from int
-	lag  units.Millis
-}
-
 // Evaluator computes schedule timings with reusable scratch buffers. The
 // zero value is ready to use. Algorithm 2's sliding window and HIOS-LP's
 // trial mappings evaluate thousands of candidate schedules over the same
 // graph; holding one Evaluator across those calls removes every per-call
 // allocation except the returned Timing (and Latency returns none at all).
+//
+// The stage DAG lives in compressed (CSR) form: a counting pass sizes the
+// flat dependency and successor arrays, a fill pass populates them, and
+// the longest-path sweep indexes them by offset. The former
+// slice-of-slices adjacency cost two allocations per stage on a cold
+// evaluator — the dominant allocation source of every scheduler.
 //
 // An Evaluator is NOT safe for concurrent use; give each goroutine its
 // own. Package-level Evaluate/Latency remain the convenient one-shot form.
@@ -93,17 +92,27 @@ type Evaluator struct {
 	seen    []bool
 	opStage []int
 	place   []int
+	seqPrev []int // stage id of the same-GPU predecessor stage, -1 for a GPU's first
 	indeg   []int
+	nsucc   []int
 	ready   []int
-	deps    [][]depEdge
-	succ    [][]int
+	depOff  []int // deps of stage id: depFrom/depLag[depOff[id]:depOff[id+1]]
+	depFrom []int
+	depLag  []units.Millis
+	succOff []int // successors of stage id: succTo[succOff[id]:succOff[id+1]]
+	succTo  []int
+	depCur  []int // fill cursors
+	succCur []int
 	start   []units.Millis
 	finish  []units.Millis
 	dur     []units.Millis
+	one     []graph.OpID // singleton-stage scratch for LatencyFromPlacement
 }
 
 // Latency computes the makespan of a complete schedule, reusing the
 // evaluator's scratch buffers.
+//
+//lint:hotpath
 func (e *Evaluator) Latency(g *graph.Graph, m cost.Model, s *Schedule) (units.Millis, error) {
 	if err := e.validate(g, s, false); err != nil {
 		return 0, err
@@ -113,11 +122,57 @@ func (e *Evaluator) Latency(g *graph.Graph, m cost.Model, s *Schedule) (units.Mi
 
 // LatencyPartial computes the makespan of a partial schedule, reusing the
 // evaluator's scratch buffers.
+//
+//lint:hotpath
 func (e *Evaluator) LatencyPartial(g *graph.Graph, m cost.Model, s *Schedule) (units.Millis, error) {
 	if err := e.validate(g, s, true); err != nil {
 		return 0, err
 	}
 	return e.compute(g, m, s)
+}
+
+// LatencyFromPlacement computes the makespan of the singleton-stage
+// schedule that FromPlacement(nGPUs, order, place) would produce, without
+// materializing the Schedule. HIOS-LP calls this once per (path, GPU)
+// trial mapping — the hot loop of Algorithm 1 — and with the evaluator's
+// scratch warmed the trial runs allocation-free. Operators with
+// place < 0 are unscheduled (partial evaluation); the implied schedule is
+// structurally valid by construction, so no validate pass runs. Stage
+// ids, durations and dependency order match compute() on the
+// materialized schedule exactly, keeping the two paths bit-identical.
+//
+//lint:hotpath
+func (e *Evaluator) LatencyFromPlacement(g *graph.Graph, m cost.Model, nGPUs int, order []graph.OpID, place []int) (units.Millis, error) {
+	n := g.NumOps()
+	ns := 0
+	for _, op := range order {
+		if place[op] >= 0 {
+			ns++
+		}
+	}
+	e.growStageScratch(n, ns)
+	e.one = growSlice(e.one, 1)
+	id := 0
+	for gi := 0; gi < nGPUs; gi++ {
+		first := true
+		for _, op := range order {
+			if place[op] != gi {
+				continue
+			}
+			e.opStage[op] = id
+			e.place[op] = gi
+			e.one[0] = op
+			e.dur[id] = m.StageTime(e.one)
+			if first {
+				e.seqPrev[id] = -1
+				first = false
+			} else {
+				e.seqPrev[id] = id - 1
+			}
+			id++
+		}
+	}
+	return e.finishCompute(g, m, ns)
 }
 
 // validate checks the structural invariants of s against g using scratch
@@ -165,16 +220,7 @@ func (e *Evaluator) compute(g *graph.Graph, m cost.Model, s *Schedule) (units.Mi
 
 	// Index stages: ids are assigned GPU-major, stage-minor, so id order
 	// is reproducible from the schedule alone.
-	e.opStage = growSlice(e.opStage, n)
-	e.place = growSlice(e.place, n)
-	for i := 0; i < n; i++ {
-		e.opStage[i] = -1
-		e.place[i] = -1
-	}
-	e.dur = growSlice(e.dur, ns)
-	e.indeg = growSlice(e.indeg, ns)
-	e.deps = growNested(e.deps, ns)
-	e.succ = growNested(e.succ, ns)
+	e.growStageScratch(n, ns)
 	id := 0
 	for gi := range s.GPUs {
 		for j := range s.GPUs[gi].Stages {
@@ -184,29 +230,50 @@ func (e *Evaluator) compute(g *graph.Graph, m cost.Model, s *Schedule) (units.Mi
 				e.place[op] = gi
 			}
 			e.dur[id] = m.StageTime(ops)
-			e.indeg[id] = 0
-			e.deps[id] = e.deps[id][:0]
-			e.succ[id] = e.succ[id][:0]
-			id++
-		}
-	}
-
-	addDep := func(from, to int, lag units.Millis) {
-		e.deps[to] = append(e.deps[to], depEdge{from: from, lag: lag})
-		e.succ[from] = append(e.succ[from], to)
-		e.indeg[to]++
-	}
-	// Sequential order within each GPU (consecutive stage ids).
-	id = 0
-	for gi := range s.GPUs {
-		for j := range s.GPUs[gi].Stages {
 			if j > 0 {
-				addDep(id-1, id, 0)
+				e.seqPrev[id] = id - 1
+			} else {
+				e.seqPrev[id] = -1
 			}
 			id++
 		}
 	}
-	// Data dependencies.
+	return e.finishCompute(g, m, ns)
+}
+
+// growStageScratch sizes the per-operator and per-stage scratch for a
+// graph of n operators and a schedule of ns stages, resetting the
+// operator maps to "unscheduled".
+func (e *Evaluator) growStageScratch(n, ns int) {
+	e.opStage = growSlice(e.opStage, n)
+	e.place = growSlice(e.place, n)
+	for i := 0; i < n; i++ {
+		e.opStage[i] = -1
+		e.place[i] = -1
+	}
+	e.dur = growSlice(e.dur, ns)
+	e.seqPrev = growSlice(e.seqPrev, ns)
+	e.indeg = growSlice(e.indeg, ns)
+	e.nsucc = growSlice(e.nsucc, ns)
+}
+
+// finishCompute builds the stage DAG in CSR form from the indexed stages
+// (counting pass, prefix sums, fill pass) and runs the longest-path
+// evaluation over it. Both passes visit the sequential edges first and
+// then the data edges in graph order, so each stage's dependency list is
+// ordered exactly as the historical slice-of-slices construction built
+// it, keeping evaluation byte-for-byte reproducible against it.
+func (e *Evaluator) finishCompute(g *graph.Graph, m cost.Model, ns int) (units.Millis, error) {
+	for id := 0; id < ns; id++ {
+		e.indeg[id] = 0
+		e.nsucc[id] = 0
+	}
+	for id := 0; id < ns; id++ {
+		if p := e.seqPrev[id]; p >= 0 {
+			e.indeg[id]++
+			e.nsucc[p]++
+		}
+	}
 	for _, ed := range g.Edges() {
 		su, sv := e.opStage[ed.From], e.opStage[ed.To]
 		if su < 0 || sv < 0 {
@@ -215,8 +282,42 @@ func (e *Evaluator) compute(g *graph.Graph, m cost.Model, s *Schedule) (units.Mi
 		if su == sv {
 			return 0, fmt.Errorf("sched: operators %d and %d share a stage but have a direct dependency", ed.From, ed.To)
 		}
+		e.indeg[sv]++
+		e.nsucc[su]++
+	}
+
+	e.depOff = growSlice(e.depOff, ns+1)
+	e.succOff = growSlice(e.succOff, ns+1)
+	e.depCur = growSlice(e.depCur, ns)
+	e.succCur = growSlice(e.succCur, ns)
+	nd, nsuc := 0, 0
+	for id := 0; id < ns; id++ {
+		e.depOff[id] = nd
+		e.depCur[id] = nd
+		nd += e.indeg[id]
+		e.succOff[id] = nsuc
+		e.succCur[id] = nsuc
+		nsuc += e.nsucc[id]
+	}
+	e.depOff[ns] = nd
+	e.succOff[ns] = nsuc
+	e.depFrom = growSlice(e.depFrom, nd)
+	e.depLag = growSlice(e.depLag, nd)
+	e.succTo = growSlice(e.succTo, nsuc)
+
+	// Fill pass, same iteration order as the counting pass.
+	for id := 0; id < ns; id++ {
+		if p := e.seqPrev[id]; p >= 0 {
+			e.addDep(p, id, 0)
+		}
+	}
+	for _, ed := range g.Edges() {
+		su, sv := e.opStage[ed.From], e.opStage[ed.To]
+		if su < 0 || sv < 0 {
+			continue
+		}
 		lag := cost.CommBetween(m, ed.From, ed.To, e.place[ed.From], e.place[ed.To])
-		addDep(su, sv, lag)
+		e.addDep(su, sv, lag)
 	}
 
 	// Longest-path over the stage DAG (Kahn order); a leftover node
@@ -237,8 +338,8 @@ func (e *Evaluator) compute(g *graph.Graph, m cost.Model, s *Schedule) (units.Mi
 		e.ready = e.ready[:len(e.ready)-1]
 		visited++
 		t := units.Millis(0)
-		for _, d := range e.deps[id] {
-			if x := e.finish[d.from] + d.lag; x > t {
+		for k := e.depOff[id]; k < e.depOff[id+1]; k++ {
+			if x := e.finish[e.depFrom[k]] + e.depLag[k]; x > t {
 				t = x
 			}
 		}
@@ -247,7 +348,8 @@ func (e *Evaluator) compute(g *graph.Graph, m cost.Model, s *Schedule) (units.Mi
 		if e.finish[id] > latency {
 			latency = e.finish[id]
 		}
-		for _, w := range e.succ[id] {
+		for k := e.succOff[id]; k < e.succOff[id+1]; k++ {
+			w := e.succTo[k]
 			e.indeg[w]--
 			if e.indeg[w] == 0 {
 				e.ready = append(e.ready, w)
@@ -258,6 +360,17 @@ func (e *Evaluator) compute(g *graph.Graph, m cost.Model, s *Schedule) (units.Mi
 		return 0, fmt.Errorf("sched: stage graph has a cycle (%d of %d stages schedulable): %w", visited, ns, graph.ErrCycle)
 	}
 	return latency, nil
+}
+
+// addDep records start(to) >= finish(from) + lag in the CSR arrays.
+func (e *Evaluator) addDep(from, to int, lag units.Millis) {
+	k := e.depCur[to]
+	e.depFrom[k] = from
+	e.depLag[k] = lag
+	e.depCur[to] = k + 1
+	k = e.succCur[from]
+	e.succTo[k] = to
+	e.succCur[from] = k + 1
 }
 
 // timing runs compute and copies the timeline into a fresh Timing.
@@ -298,17 +411,6 @@ func (e *Evaluator) timing(g *graph.Graph, m cost.Model, s *Schedule) (*Timing, 
 func growSlice[T any](buf []T, n int) []T {
 	if cap(buf) < n {
 		return make([]T, n)
-	}
-	return buf[:n]
-}
-
-// growNested resizes a slice of slices to n entries, keeping the inner
-// backing arrays of reused entries. New entries start nil.
-func growNested[T any](buf [][]T, n int) [][]T {
-	if cap(buf) < n {
-		next := make([][]T, n)
-		copy(next, buf)
-		return next
 	}
 	return buf[:n]
 }

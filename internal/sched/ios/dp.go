@@ -57,18 +57,42 @@ type solver struct {
 	front  []int        // frontier scratch
 	stage  []int        // subset-enumeration scratch
 	probe  []graph.OpID // candidate stage handed to the cost model
+	sorter bucketSorter // beam-prune sort scratch
+}
+
+// bucketSorter orders a bucket's state indices by (cost, bitset). It lives
+// in the solver so the beam prune sorts via sort.Sort on a pointer receiver
+// — no per-sort closure or interface boxing inside the DP bucket loop, and
+// the (cost, distinct-bitset) key is a total order, so the result is
+// identical to the sort.Slice it replaced.
+type bucketSorter struct {
+	states []dpState
+	bucket []int32
+}
+
+func (b *bucketSorter) Len() int      { return len(b.bucket) }
+func (b *bucketSorter) Swap(i, j int) { b.bucket[i], b.bucket[j] = b.bucket[j], b.bucket[i] }
+func (b *bucketSorter) Less(i, j int) bool {
+	a, z := &b.states[b.bucket[i]], &b.states[b.bucket[j]]
+	// Exact IEEE inequality keeps this tie-break a strict weak order; an
+	// epsilon compare would not.
+	if a.cost != z.cost { //lint:floatexact
+		return a.cost < z.cost
+	}
+	return less(a.set, z.set)
 }
 
 // hashBits mixes the block's active bitset words (splitmix64 finalizer
 // over an FNV-style fold); the index capacity is a power of two, so the
-// low bits must be well distributed.
+// low bits must be well distributed. The splitmix64 constants here hash
+// bitsets and never feed an RNG, hence the seedflow suppressions.
 func (s *solver) hashBits(set *bitset) uint64 {
-	h := uint64(0x9e3779b97f4a7c15)
+	h := uint64(0x9e3779b97f4a7c15) //lint:seedflow (hash mixing, not seed derivation)
 	for i := 0; i < s.words; i++ {
-		h = (h ^ set[i]) * 0xbf58476d1ce4e5b9
+		h = (h ^ set[i]) * 0xbf58476d1ce4e5b9 //lint:seedflow (hash mixing, not seed derivation)
 	}
 	h ^= h >> 30
-	h *= 0x94d049bb133111eb
+	h *= 0x94d049bb133111eb //lint:seedflow (hash mixing, not seed derivation)
 	h ^= h >> 31
 	return h
 }
@@ -171,6 +195,12 @@ func growNested[T any](buf [][]T, n int) [][]T {
 // optimal (or beam-pruned) stage decomposition in execution order. The
 // returned stage slices are freshly allocated (the solver's arena is
 // reused by the next block).
+//
+// solveBlock (not Schedule) is the hot-path root: the surrounding block
+// partition (Blocks) legitimately allocates its one-shot reachability
+// bitsets, while everything below runs once per DP state transition.
+//
+//lint:hotpath
 func (s *solver) solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, opt Options) ([][]graph.OpID, error) {
 	b := len(block)
 	if b == 1 {
@@ -192,12 +222,17 @@ func (s *solver) solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, op
 			s.inBlock[v] = -1
 		}
 	}()
+	// The collect callback is created once for the whole block sweep; li
+	// carries the current local index into it.
+	var li int
+	collect := func(u graph.OpID, _ float64) {
+		if j := s.inBlock[u]; j >= 0 {
+			s.preds[li] = append(s.preds[li], int(j))
+		}
+	}
 	for i, v := range block {
-		g.Preds(v, func(u graph.OpID, _ float64) {
-			if j := s.inBlock[u]; j >= 0 {
-				s.preds[i] = append(s.preds[i], int(j))
-			}
-		})
+		li = i
+		g.Preds(v, collect)
 	}
 	beam := opt.Beam
 	if b <= opt.ExactLimit {
@@ -276,15 +311,8 @@ func (s *solver) solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, op
 	for c := 0; c < b; c++ {
 		bucket := s.bucket[c]
 		if beam > 0 && len(bucket) > beam {
-			sort.Slice(bucket, func(i, j int) bool {
-				a, z := &s.states[bucket[i]], &s.states[bucket[j]]
-				// Exact IEEE inequality keeps this tie-break a strict
-				// weak order; an epsilon compare would not.
-				if a.cost != z.cost { //lint:floatexact
-					return a.cost < z.cost
-				}
-				return less(a.set, z.set)
-			})
+			s.sorter.states, s.sorter.bucket = s.states, bucket
+			sort.Sort(&s.sorter)
 			bucket = bucket[:beam]
 		}
 		for _, si := range bucket {
@@ -310,20 +338,23 @@ func (s *solver) solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, op
 	if end < 0 {
 		return nil, fmt.Errorf("ios: dynamic program did not reach the full state (beam too narrow?)")
 	}
-	// Walk predecessors back to the empty state, copying each stage out
-	// of the arena (the arena is recycled for the next block).
-	var rev [][]graph.OpID
+	// Walk predecessors back to the empty state twice: once to count the
+	// stages, once to copy each stage out of the arena (which is recycled
+	// for the next block) directly into its execution-order slot.
+	count := 0
 	for cur := end; s.states[cur].stageLen > 0; {
-		st := &s.states[cur]
-		rev = append(rev, append([]graph.OpID(nil), s.arena[st.stageOff:st.stageOff+st.stageLen]...))
-		if st.prev < 0 {
+		if s.states[cur].prev < 0 {
 			return nil, fmt.Errorf("ios: broken DP back-pointer")
 		}
-		cur = st.prev
+		count++
+		cur = s.states[cur].prev
 	}
-	out := make([][]graph.OpID, len(rev))
-	for i := range rev {
-		out[i] = rev[len(rev)-1-i]
+	out := make([][]graph.OpID, count)
+	i := count - 1
+	for cur := end; s.states[cur].stageLen > 0; i-- {
+		st := &s.states[cur]
+		out[i] = append([]graph.OpID(nil), s.arena[st.stageOff:st.stageOff+st.stageLen]...)
+		cur = st.prev
 	}
 	return out, nil
 }

@@ -53,6 +53,8 @@ func (o Options) Validate() error {
 }
 
 // Schedule runs HIOS-LP on g under cost model m.
+//
+//lint:hotpath
 func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 	if err := opt.Validate(); err != nil {
 		return sched.Result{}, err
@@ -98,15 +100,16 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 		// Try the whole path on every GPU; keep the mapping with the
 		// lowest latency of the scheduled subgraph (ties: lowest GPU
 		// index, which also exploits GPU homogeneity for the first
-		// path — every device is equivalent, so GPU 0 wins).
+		// path — every device is equivalent, so GPU 0 wins). The trial
+		// evaluates the placement directly — no Schedule object is
+		// built until the mapping loop settles.
 		best := units.Millis(math.Inf(1))
 		bestGPU := 0
 		for gi := 0; gi < opt.GPUs; gi++ {
 			for _, v := range path {
 				place[v] = gi
 			}
-			s := sched.FromPlacement(opt.GPUs, order, place)
-			lat, err := ev.LatencyPartial(g, m, s)
+			lat, err := ev.LatencyFromPlacement(g, m, opt.GPUs, order, place)
 			if err != nil {
 				return sched.Result{}, fmt.Errorf("lp: trial mapping on GPU %d: %w", gi, err)
 			}

@@ -53,6 +53,8 @@ func (o Options) Validate() error {
 }
 
 // Schedule runs HIOS-MR on g under cost model m.
+//
+//lint:hotpath
 func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 	if err := opt.Validate(); err != nil {
 		return sched.Result{}, err
@@ -74,23 +76,45 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 		pos[v] = i
 	}
 
-	// Lines 2–4: the n×M table of (earliest finish, predecessor GPU).
-	tTab := make([][]units.Millis, n)
-	gTab := make([][]int, n)
-	for i := 0; i < n; i++ {
-		tTab[i] = make([]units.Millis, M)
-		gTab[i] = make([]int, M)
-		for j := 0; j < M; j++ {
-			tTab[i][j] = units.Millis(math.Inf(1))
-			gTab[i][j] = 0
-		}
+	// Lines 2–4: the n×M table of (earliest finish, predecessor GPU),
+	// row-major in two flat arrays — entry (i, j) at index i*M+j.
+	tTab := make([]units.Millis, n*M)
+	gTab := make([]int, n*M)
+	for i := range tTab {
+		tTab[i] = units.Millis(math.Inf(1))
 	}
 	// Line 5: v_1 goes to GPU 1 (homogeneity makes the choice free).
-	tTab[0][0] = m.OpTime(order[0])
+	tTab[0] = m.OpTime(order[0])
 
 	// Scratch buffers for the chain replay.
 	tF := make([]units.Millis, n)
 	gOf := make([]int, n)
+
+	// Data-readiness callback (lines 15–19), allocated once: it runs for
+	// every predecessor of v_i inside the (i, j, k) triple loop, where a
+	// closure literal would allocate n·M² times. The cur* variables carry
+	// the loop state into the callback.
+	var (
+		curI  int
+		curVi graph.OpID
+		curJ  int
+		curTk units.Millis
+		curOK bool
+	)
+	ready := func(u graph.OpID, _ float64) {
+		lu := pos[u]
+		if lu >= curI {
+			// A predecessor later in the priority order would violate
+			// topological ordering; cannot happen with positive op
+			// times.
+			curOK = false
+			return
+		}
+		r := tF[lu] + cost.CommBetween(m, u, curVi, gOf[lu], curJ)
+		if r > curTk {
+			curTk = r
+		}
+	}
 
 	// Lines 6–21.
 	for i := 1; i < n; i++ {
@@ -105,7 +129,7 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 		}
 		for j := 0; j < maxJ; j++ {
 			for k := 0; k < maxK; k++ {
-				if math.IsInf(float64(tTab[i-1][k]), 1) {
+				if math.IsInf(float64(tTab[(i-1)*M+k]), 1) {
 					continue // v_{i-1} cannot finish on GPU k
 				}
 				// Lines 10–12: replay the recorded chain to
@@ -113,9 +137,9 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 				// finish time under "v_{i-1} on GPU k".
 				mm := k
 				for l := i - 1; l >= 0; l-- {
-					tF[l] = tTab[l][mm]
+					tF[l] = tTab[l*M+mm]
 					gOf[l] = mm
-					mm = gTab[l][mm]
+					mm = gTab[l*M+mm]
 				}
 				// Line 14: GPU j availability.
 				tk := units.Millis(0)
@@ -125,29 +149,16 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 					}
 				}
 				// Lines 15–19: data readiness of v_i's inputs.
-				ok := true
-				g.Preds(vi, func(u graph.OpID, _ float64) {
-					lu := pos[u]
-					if lu >= i {
-						// A predecessor later in the
-						// priority order would violate
-						// topological ordering; cannot
-						// happen with positive op times.
-						ok = false
-						return
-					}
-					ready := tF[lu] + cost.CommBetween(m, u, vi, gOf[lu], j)
-					if ready > tk {
-						tk = ready
-					}
-				})
-				if !ok {
+				curI, curVi, curJ = i, vi, j
+				curTk, curOK = tk, true
+				g.Preds(vi, ready)
+				if !curOK {
 					return sched.Result{}, fmt.Errorf("mr: priority order is not topological at operator %d", vi)
 				}
 				// Lines 20–21.
-				if f := tk + m.OpTime(vi); f < tTab[i][j] {
-					tTab[i][j] = f
-					gTab[i][j] = k
+				if f := curTk + m.OpTime(vi); f < tTab[i*M+j] {
+					tTab[i*M+j] = f
+					gTab[i*M+j] = k
 				}
 			}
 		}
@@ -156,7 +167,7 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 	// Lines 22–26: pick the best finish of v_n and walk the chain back.
 	J := 0
 	for j := 1; j < M; j++ {
-		if tTab[n-1][j] < tTab[n-1][J] {
+		if tTab[(n-1)*M+j] < tTab[(n-1)*M+J] {
 			J = j
 		}
 	}
@@ -164,7 +175,7 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 	mm := J
 	for i := n - 1; i >= 0; i-- {
 		place[order[i]] = mm
-		mm = gTab[i][mm]
+		mm = gTab[i*M+mm]
 	}
 
 	s := sched.FromPlacement(M, order, place)

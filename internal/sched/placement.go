@@ -8,11 +8,39 @@ import "github.com/shus-lab/hios/internal/graph"
 // descending-priority topological order), one stage per operator, so that
 // each runs at its earliest available start time given sequential execution
 // per GPU. Operators with place < 0 (still unscheduled) are skipped.
+//
+// One operator array and one stage array back every GPU's stage list —
+// the capacity-clamped subslices keep a later append on any stage list or
+// Ops slice from bleeding into a neighbour's storage (cf. CompactClone).
+// The former one-Append-per-operator construction allocated twice per
+// operator and dominated the HIOS-LP allocation profile.
+//
+//lint:hotpath
 func FromPlacement(nGPUs int, order []graph.OpID, place []int) *Schedule {
 	s := New(nGPUs)
+	cnt := make([]int, nGPUs)
+	total := 0
 	for _, op := range order {
 		if g := place[op]; g >= 0 {
-			s.Append(g, op)
+			cnt[g]++
+			total++
+		}
+	}
+	ops := make([]graph.OpID, total)
+	stages := make([]Stage, total)
+	pos := 0
+	for gi := 0; gi < nGPUs; gi++ {
+		next := pos + cnt[gi]
+		s.GPUs[gi].Stages = stages[pos:pos:next]
+		cnt[gi] = pos // becomes the fill cursor below
+		pos = next
+	}
+	for _, op := range order {
+		if gi := place[op]; gi >= 0 {
+			k := cnt[gi]
+			cnt[gi] = k + 1
+			ops[k] = op
+			s.GPUs[gi].Stages = append(s.GPUs[gi].Stages, Stage{Ops: ops[k : k+1 : k+1]})
 		}
 	}
 	return s

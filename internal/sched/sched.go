@@ -108,6 +108,39 @@ func (s *Schedule) Clone() *Schedule {
 	return ns
 }
 
+// CompactClone returns a deep copy of the schedule backed by three
+// allocations in total (GPU headers, stage headers, one operator array)
+// instead of Clone's per-stage copies. Each stage's Ops is a
+// capacity-clamped subslice of the shared backing array, so appending to
+// one stage can never bleed into a neighbour's storage; as everywhere in
+// this package, a committed stage's Ops are never mutated in place.
+// Algorithm 2 clones its input once per Parallelize call, which makes
+// this the fixed entry cost of every window pass.
+//
+//lint:hotpath
+func (s *Schedule) CompactClone() *Schedule {
+	nops, nstages := 0, 0
+	for gi := range s.GPUs {
+		nstages += len(s.GPUs[gi].Stages)
+		for _, st := range s.GPUs[gi].Stages {
+			nops += len(st.Ops)
+		}
+	}
+	ops := make([]graph.OpID, 0, nops)
+	stages := make([]Stage, 0, nstages)
+	ns := &Schedule{GPUs: make([]GPUSchedule, len(s.GPUs))}
+	for gi := range s.GPUs {
+		lo := len(stages)
+		for _, st := range s.GPUs[gi].Stages {
+			o := len(ops)
+			ops = append(ops, st.Ops...)
+			stages = append(stages, Stage{Ops: ops[o:len(ops):len(ops)]})
+		}
+		ns.GPUs[gi].Stages = stages[lo:len(stages):len(stages)]
+	}
+	return ns
+}
+
 // Placement returns op -> GPU index for a graph with n operators;
 // unscheduled operators map to -1. An operator appearing twice is reported
 // by Validate, not here.

@@ -57,9 +57,11 @@ func ParallelizeFixpoint(g *graph.Graph, m cost.Model, s *sched.Schedule, w, max
 // Parallelize runs Algorithm 2 over schedule s and returns the improved
 // schedule and its latency. The input schedule is not modified. w is the
 // maximum window size; values below 2 disable fusion and simply evaluate s.
+//
+//lint:hotpath
 func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.Result, error) {
 	var ev sched.Evaluator
-	cur := s.Clone()
+	cur := s.CompactClone()
 	curLat, err := ev.Latency(g, m, cur)
 	if err != nil {
 		return sched.Result{}, err
@@ -74,6 +76,25 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 	gpuOf, stageOf := cur.StageOf(g.NumOps())
 
 	order := g.ByPriority()
+
+	// Scratch shared by every window position: the fused-member buffer,
+	// one candidate schedule and its stage list. A candidate aliases
+	// cur's untouched stages plus these buffers and is deep-materialized
+	// (commitStages) only when it improves the latency, so the O(w·n)
+	// rejected candidates are evaluated without allocating. Sharing is
+	// safe because nothing here (or in the evaluator) mutates a stage's
+	// Ops in place; the merged stage's members live in the scratch buffer
+	// until committed.
+	maxStages := 0
+	for gi := range cur.GPUs {
+		if l := len(cur.GPUs[gi].Stages); l > maxStages {
+			maxStages = l
+		}
+	}
+	members := make([]graph.OpID, 0, w)
+	candStages := make([]sched.Stage, 0, maxStages)
+	cand := &sched.Schedule{GPUs: make([]sched.GPUSchedule, len(cur.GPUs))}
+
 	for i := 0; i < len(order)-1; i++ {
 		v := order[i]
 		gi, si := gpuOf[v], stageOf[v]
@@ -88,7 +109,7 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 		}
 		// Try window sizes p+1 = 2..w and keep the best improvement.
 		bestLat := curLat
-		var bestSched *sched.Schedule
+		var bestStages []sched.Stage
 		for p := 1; p <= w-1; p++ {
 			if si+p >= len(stages) {
 				break
@@ -100,7 +121,7 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 			if len(stages[si+p].Ops) > 1 {
 				break
 			}
-			members := make([]graph.OpID, 0, p+1)
+			members = members[:0]
 			for k := si; k <= si+p; k++ {
 				members = append(members, stages[k].Ops...)
 			}
@@ -110,7 +131,23 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 				// pair cannot either.
 				break
 			}
-			cand := fuse(cur, gi, si, p)
+			// Keep the merged stage sorted for deterministic output.
+			for a := 1; a < len(members); a++ {
+				for b := a; b > 0 && members[b] < members[b-1]; b-- {
+					members[b], members[b-1] = members[b-1], members[b]
+				}
+			}
+			// Assemble the candidate in scratch: cur's GPU queues with
+			// stages si..si+p on GPU gi merged at position si.
+			copy(cand.GPUs, cur.GPUs)
+			if cap(candStages) < len(stages)-p {
+				candStages = make([]sched.Stage, 0, len(stages)-p)
+			}
+			candStages = candStages[:0]
+			candStages = append(candStages, stages[:si]...)
+			candStages = append(candStages, sched.Stage{Ops: members})
+			candStages = append(candStages, stages[si+p+1:]...)
+			cand.GPUs[gi].Stages = candStages
 			lat, err := ev.Latency(g, m, cand)
 			if err != nil {
 				// The fusion created a dependency cycle in the
@@ -120,11 +157,13 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 				break
 			}
 			if lat < bestLat {
-				bestLat, bestSched = lat, cand
+				bestLat = lat
+				bestStages = commitStages(candStages, si)
 			}
 		}
-		if bestSched != nil {
-			cur, curLat = bestSched, bestLat
+		if bestStages != nil {
+			cur.GPUs[gi].Stages = bestStages
+			curLat = bestLat
 			// Re-index only the fused GPU from the fusion point on:
 			// the window collapsed into stage si and later stages
 			// shifted down. Other GPUs are untouched.
@@ -136,6 +175,19 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 		}
 	}
 	return sched.Result{Schedule: cur, Latency: curLat}, nil
+}
+
+// commitStages deep-materializes a scratch candidate stage list so it
+// outlives the scratch buffers: the merged stage at position si gets its
+// own member array; the surrounding stages already own theirs (they are
+// the committed stages of the current schedule, shared deliberately).
+func commitStages(stages []sched.Stage, si int) []sched.Stage {
+	out := make([]sched.Stage, len(stages))
+	copy(out, stages)
+	ops := make([]graph.OpID, len(stages[si].Ops))
+	copy(ops, stages[si].Ops)
+	out[si] = sched.Stage{Ops: ops}
+	return out
 }
 
 // ExactPerGPU is the §IV-B counterfactual: instead of the sliding window,
@@ -196,36 +248,4 @@ func hasDirectEdge(g *graph.Graph, members []graph.OpID) bool {
 		}
 	}
 	return false
-}
-
-// fuse returns a copy of s in which stages si..si+p on GPU gi are merged
-// into a single stage at position si, preserving the execution order of
-// everything else.
-//
-// The copy is shallow: only the GPU-queue headers and the fused GPU's
-// stage list are fresh; every untouched Stage still shares its Ops slice
-// with s. That is safe because nothing in this package (or the evaluator)
-// mutates a stage's Ops in place — the only write below builds the merged
-// stage's own freshly allocated slice. Parallelize deep-Clones its input
-// once up front, so candidates never alias the caller's schedule.
-func fuse(s *sched.Schedule, gi, si, p int) *sched.Schedule {
-	ns := &sched.Schedule{GPUs: make([]sched.GPUSchedule, len(s.GPUs))}
-	copy(ns.GPUs, s.GPUs)
-	stages := s.GPUs[gi].Stages
-	members := make([]graph.OpID, 0, p+1)
-	for k := si; k <= si+p; k++ {
-		members = append(members, stages[k].Ops...)
-	}
-	// Keep members sorted for deterministic output.
-	for a := 1; a < len(members); a++ {
-		for b := a; b > 0 && members[b] < members[b-1]; b-- {
-			members[b], members[b-1] = members[b-1], members[b]
-		}
-	}
-	merged := make([]sched.Stage, 0, len(stages)-p)
-	merged = append(merged, stages[:si]...)
-	merged = append(merged, sched.Stage{Ops: members})
-	merged = append(merged, stages[si+p+1:]...)
-	ns.GPUs[gi].Stages = merged
-	return ns
 }

@@ -22,7 +22,6 @@
 package serve
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -31,6 +30,7 @@ import (
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/pipeline"
 	"github.com/shus-lab/hios/internal/sched"
+	"github.com/shus-lab/hios/internal/stats"
 	"github.com/shus-lab/hios/internal/units"
 )
 
@@ -295,6 +295,11 @@ type event struct {
 	replica int // evFree
 }
 
+// eventHeap is a typed binary min-heap. Like sim.eventHeap it does not
+// satisfy heap.Interface: container/heap would box one event (or int, for
+// the queues below) per operation in the dispatch loop. All three heaps
+// in this file order by a total key — (at, seq), replica index, or
+// (deadline, qseq) — so the pop sequences match container/heap's exactly.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -307,17 +312,107 @@ func (h eventHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
-// intHeap is a min-heap of ints (idle replica indices).
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	x := s[n]
+	*h = s[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return x
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.Less(i, p) {
+			break
+		}
+		h.Swap(i, p)
+		i = p
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && h.Less(r, l) {
+			j = r
+		}
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		i = j
+	}
+}
+
+// intHeap is a typed min-heap of ints (idle replica indices).
 type intHeap []int
 
 func (h intHeap) Len() int           { return len(h) }
 func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
 func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
-func (h *intHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *intHeap) push(v int) {
+	*h = append(*h, v)
+	h.up(len(*h) - 1)
+}
+
+func (h *intHeap) pop() int {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	x := s[n]
+	*h = s[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return x
+}
+
+func (h intHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.Less(i, p) {
+			break
+		}
+		h.Swap(i, p)
+		i = p
+	}
+}
+
+func (h intHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && h.Less(r, l) {
+			j = r
+		}
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		i = j
+	}
+}
 
 // reqQueue is one model's pending-request queue, ordered by the dispatch
 // policy: enqueue order under FIFO, (absolute deadline, enqueue order)
@@ -341,13 +436,51 @@ func (q *reqQueue) Less(i, j int) bool {
 	return a.qseq < b.qseq
 }
 func (q *reqQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
-func (q *reqQueue) Push(x any)    { q.items = append(q.items, x.(int)) }
-func (q *reqQueue) Pop() any {
-	old := q.items
-	n := len(old)
-	x := old[n-1]
-	q.items = old[:n-1]
+
+func (q *reqQueue) push(ri int) {
+	q.items = append(q.items, ri)
+	q.up(len(q.items) - 1)
+}
+
+func (q *reqQueue) pop() int {
+	n := len(q.items) - 1
+	q.Swap(0, n)
+	x := q.items[n]
+	q.items = q.items[:n]
+	if n > 0 {
+		q.down(0)
+	}
 	return x
+}
+
+func (q *reqQueue) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.Less(i, p) {
+			break
+		}
+		q.Swap(i, p)
+		i = p
+	}
+}
+
+func (q *reqQueue) down(i int) {
+	n := len(q.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && q.Less(r, l) {
+			j = r
+		}
+		if !q.Less(j, i) {
+			break
+		}
+		q.Swap(i, j)
+		i = j
+	}
 }
 
 // engine is the running simulation state.
@@ -366,19 +499,10 @@ type engine struct {
 	rngs   []*rand.Rand
 }
 
-// mixSeed derives tenant i's RNG seed from the top-level seed with a
-// splitmix64 step, so adjacent seeds yield unrelated streams.
-func mixSeed(seed int64, i int) int64 {
-	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(i+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
-}
-
 func (e *engine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 }
 
 // newRequest creates a request arriving at the given time and schedules
@@ -417,12 +541,16 @@ func (e *engine) reissue(tenant, client int, now units.Millis) {
 }
 
 // dispatch matches idle replicas of model mi with queued requests at
-// time now, shedding hopeless requests first under EDFShed.
+// time now, shedding hopeless requests first under EDFShed. This is the
+// per-event inner loop of the serving simulator and the package's
+// hot-path root (Run's setup loops legitimately allocate per tenant).
+//
+//lint:hotpath
 func (e *engine) dispatch(mi int, now units.Millis) {
 	q, idle := e.queues[mi], e.idle[mi]
 	m := &e.o.Models[mi]
 	for idle.Len() > 0 && q.Len() > 0 {
-		ri := heap.Pop(q).(int)
+		ri := q.pop()
 		r := &e.reqs[ri]
 		e.depth--
 		if e.o.Policy == EDFShed && now+m.Latency > r.deadline {
@@ -433,7 +561,7 @@ func (e *engine) dispatch(mi int, now units.Millis) {
 			e.reissue(r.tenant, r.client, now)
 			continue
 		}
-		rep := heap.Pop(idle).(int)
+		rep := idle.pop()
 		r.state = stRunning
 		e.starts[mi][rep]++
 		e.push(event{at: now + m.Latency, kind: evDone, req: ri})
@@ -485,7 +613,7 @@ func Run(opt Options) (*Report, error) {
 		e.starts[mi] = make([]int, m.Replicas)
 	}
 	for ti, t := range opt.Tenants {
-		e.rngs[ti] = rand.New(rand.NewSource(mixSeed(opt.Seed, ti)))
+		e.rngs[ti] = rand.New(rand.NewSource(stats.MixSeed(opt.Seed, ti)))
 		if t.Rate > 0 {
 			// Open-loop: pre-draw the whole Poisson arrival sequence.
 			mean := units.Millis(1e3 / t.Rate)
@@ -507,7 +635,7 @@ func Run(opt Options) (*Report, error) {
 
 	var makespan units.Millis
 	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		now := ev.at
 		if now > makespan {
 			makespan = now
@@ -518,11 +646,11 @@ func Run(opt Options) (*Report, error) {
 			r.qseq = e.qseq
 			e.qseq++
 			mi := e.o.Tenants[r.tenant].Model
-			heap.Push(e.queues[mi], ev.req)
+			e.queues[mi].push(ev.req)
 			e.depth++
 			e.dispatch(mi, now)
 		case evFree:
-			heap.Push(e.idle[ev.model], ev.replica)
+			e.idle[ev.model].push(ev.replica)
 			e.dispatch(ev.model, now)
 		case evDone:
 			r := &e.reqs[ev.req]

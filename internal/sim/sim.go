@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -54,6 +53,10 @@ type event struct {
 	xfer int // transfer arrival: index into pending transfers
 }
 
+// eventHeap is a typed binary min-heap. It deliberately does not satisfy
+// heap.Interface: container/heap's Push/Pop trade in `any` and would box
+// one event per operation in the simulator's hot loop. The (at, seq) key
+// is a total order, so the pop sequence is identical to container/heap's.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -66,8 +69,54 @@ func (h eventHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	x := s[n]
+	*h = s[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return x
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.Less(i, p) {
+			break
+		}
+		h.Swap(i, p)
+		i = p
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && h.Less(r, l) {
+			j = r
+		}
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		i = j
+	}
+}
+
 func (h eventHeap) Peek() (event, bool) {
 	if len(h) == 0 {
 		return event{}, false
@@ -103,6 +152,8 @@ func Run(g *graph.Graph, m cost.Model, s *sched.Schedule) (*Trace, error) {
 // RunOpts simulates schedule s for graph g under cost model m. The
 // schedule must be complete and valid; a deadlocked schedule (cyclic stage
 // dependencies) is reported as an error, mirroring the evaluator.
+//
+//lint:hotpath
 func RunOpts(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (*Trace, error) {
 	if err := sched.Validate(g, s); err != nil {
 		return nil, err
@@ -141,9 +192,9 @@ func RunOpts(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (*Tra
 		consumerOp graph.OpID // representative consumer, for the record
 	}
 	xfersByProducer := make(map[graph.OpID][]int)
-	var xfers []pendingXfer
+	xfers := make([]pendingXfer, 0, len(consumers))
 	// Deterministic iteration order over the consumers map.
-	var xkeys []xferKey
+	xkeys := make([]xferKey, 0, len(consumers))
 	for k := range consumers {
 		xkeys = append(xkeys, k)
 	}
@@ -153,10 +204,18 @@ func RunOpts(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (*Tra
 		}
 		return xkeys[i].dstGPU < xkeys[j].dstGPU
 	})
+	// One dedupe map serves every transfer; cleared between keys.
+	seen := make(map[stageKey]bool)
 	for _, k := range xkeys {
 		cs := consumers[k]
-		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
-		seen := make(map[stageKey]bool)
+		// Insertion sort: cs is tiny (consumers of one tensor on one GPU)
+		// and a sort.Slice closure here would allocate per transfer.
+		for a := 1; a < len(cs); a++ {
+			for b := a; b > 0 && cs[b] < cs[b-1]; b-- {
+				cs[b], cs[b-1] = cs[b-1], cs[b]
+			}
+		}
+		clear(seen)
 		px := pendingXfer{
 			from:       k.op,
 			fromGPU:    gpuOf[k.op],
@@ -180,12 +239,10 @@ func RunOpts(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (*Tra
 	next := make([]int, len(s.GPUs)) // next stage index per GPU
 	busyUntil := make([]units.Millis, len(s.GPUs))
 	started := make([]bool, len(s.GPUs)) // whether next[gpu] is running
-	// linkFree[src][dst] is when the directed link src->dst next becomes
-	// idle, used only under SerializeLinks.
-	linkFree := make([][]units.Millis, len(s.GPUs))
-	for i := range linkFree {
-		linkFree[i] = make([]units.Millis, len(s.GPUs))
-	}
+	// linkFree[src*nG+dst] is when the directed link src->dst next becomes
+	// idle, used only under SerializeLinks. Row-major flat array.
+	nG := len(s.GPUs)
+	linkFree := make([]units.Millis, nG*nG)
 	now := units.Millis(0)
 	seq := 0
 	var h eventHeap
@@ -210,7 +267,7 @@ func RunOpts(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (*Tra
 		tr.Stages = append(tr.Stages, StageRecord{
 			GPU: gpu, Index: next[gpu], Ops: ops, Start: start, Finish: finish,
 		})
-		heap.Push(&h, event{at: finish, kind: 0, seq: seq, gpu: gpu})
+		h.push(event{at: finish, kind: 0, seq: seq, gpu: gpu})
 		seq++
 	}
 
@@ -221,7 +278,7 @@ func RunOpts(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (*Tra
 	done := 0
 	total := s.NumStages()
 	for h.Len() > 0 {
-		ev := heap.Pop(&h).(event)
+		ev := h.pop()
 		now = ev.at
 		switch ev.kind {
 		case 0: // stage finished on ev.gpu
@@ -233,10 +290,10 @@ func RunOpts(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (*Tra
 					x := xfers[xi]
 					depart := now
 					if opt.SerializeLinks {
-						if f := linkFree[x.fromGPU][x.toGPU]; f > depart {
+						if f := linkFree[x.fromGPU*nG+x.toGPU]; f > depart {
 							depart = f
 						}
-						linkFree[x.fromGPU][x.toGPU] = depart + x.comm
+						linkFree[x.fromGPU*nG+x.toGPU] = depart + x.comm
 					}
 					arrive := depart + x.comm
 					tr.Transfers = append(tr.Transfers, TransferRecord{
@@ -244,7 +301,7 @@ func RunOpts(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (*Tra
 						FromGPU: x.fromGPU, ToGPU: x.toGPU,
 						Depart: depart, Arrive: arrive,
 					})
-					heap.Push(&h, event{at: arrive, kind: 1, seq: seq, xfer: xi})
+					h.push(event{at: arrive, kind: 1, seq: seq, xfer: xi})
 					seq++
 				}
 			}
