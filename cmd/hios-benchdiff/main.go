@@ -19,7 +19,9 @@
 // reported but never fail the diff. -filter restricts the comparison to
 // benchmark keys matching a regular expression, so CI can gate tightly
 // on the stable scheduler/serving benchmarks while the full diff stays
-// advisory.
+// advisory. -geomean appends a geometric-mean summary row over the
+// compared ratios — the one-number answer to "did this PR speed the
+// suite up overall" that individual rows bury.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
@@ -63,6 +66,7 @@ func main() {
 		maxNsRatio    = flag.Float64("max-ns-ratio", 1.5, "fail when new/old ns per op exceeds this")
 		maxAllocRatio = flag.Float64("max-allocs-ratio", 1.1, "fail when new/old allocs per op exceeds this")
 		filter        = flag.String("filter", "", "diff only benchmark keys matching this regular expression")
+		geomean       = flag.Bool("geomean", false, "append a geometric-mean summary row over the compared ratios")
 	)
 	flag.Parse()
 
@@ -73,7 +77,7 @@ func main() {
 			os.Exit(2)
 		}
 	case *oldPath != "" && *newPath != "":
-		regressed, err := runDiff(*oldPath, *newPath, *maxNsRatio, *maxAllocRatio, *filter)
+		regressed, err := runDiff(*oldPath, *newPath, *maxNsRatio, *maxAllocRatio, *filter, *geomean)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hios-benchdiff:", err)
 			os.Exit(2)
@@ -206,7 +210,7 @@ func load(path string) (file, error) {
 	return doc, nil
 }
 
-func runDiff(oldPath, newPath string, maxNs, maxAllocs float64, filter string) (bool, error) {
+func runDiff(oldPath, newPath string, maxNs, maxAllocs float64, filter string, geomean bool) (bool, error) {
 	oldDoc, err := load(oldPath)
 	if err != nil {
 		return false, err
@@ -235,6 +239,11 @@ func runDiff(oldPath, newPath string, maxNs, maxAllocs float64, filter string) (
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	fmt.Fprintf(w, "%-55s %12s %14s\n", "benchmark", "ns ratio", "allocs ratio")
+	// Geometric-mean accumulators over benchmarks present on both sides:
+	// sums of log-ratios, so one outlier cannot drown the rest the way an
+	// arithmetic mean of ratios would.
+	var nsLogSum, allocLogSum float64
+	nsCount, allocCount := 0, 0
 	for _, name := range names {
 		o := oldDoc.Benchmarks[name]
 		n, ok := newDoc.Benchmarks[name]
@@ -243,6 +252,10 @@ func runDiff(oldPath, newPath string, maxNs, maxAllocs float64, filter string) (
 			continue
 		}
 		nsRatio := ratio(n.NsPerOp, o.NsPerOp)
+		if nsRatio > 0 {
+			nsLogSum += math.Log(nsRatio)
+			nsCount++
+		}
 		mark := ""
 		if nsRatio > maxNs {
 			mark = "  ** ns regression"
@@ -252,12 +265,25 @@ func runDiff(oldPath, newPath string, maxNs, maxAllocs float64, filter string) (
 		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
 			ar := ratio(*n.AllocsPerOp, *o.AllocsPerOp)
 			allocStr = fmt.Sprintf("%.3f", ar)
+			if ar > 0 {
+				allocLogSum += math.Log(ar)
+				allocCount++
+			}
 			if ar > maxAllocs {
 				mark += "  ** allocs regression"
 				regressed = true
 			}
 		}
 		fmt.Fprintf(w, "%-55s %12.3f %14s%s\n", name, nsRatio, allocStr, mark)
+	}
+	if geomean && nsCount > 0 {
+		allocStr := "n/a"
+		if allocCount > 0 {
+			allocStr = fmt.Sprintf("%.3f", math.Exp(allocLogSum/float64(allocCount)))
+		}
+		fmt.Fprintf(w, "%-55s %12.3f %14s\n",
+			fmt.Sprintf("geomean (%d benchmarks)", nsCount),
+			math.Exp(nsLogSum/float64(nsCount)), allocStr)
 	}
 	// Benchmarks absent from the baseline, in sorted (deterministic) order.
 	added := make([]string, 0, len(newDoc.Benchmarks))

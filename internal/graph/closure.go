@@ -1,0 +1,128 @@
+package graph
+
+import "math/bits"
+
+// Closure is the transitive closure of a finalized graph as two bitset
+// matrices: row v of fwd holds the descendants of v (every vertex
+// reachable from v by a path of length >= 1), row v of bwd holds its
+// ancestors. One row is ceil(n/64) words, so the whole structure costs
+// 2·n·ceil(n/64) words and builds in O(V·E/64) with word-parallel ORs
+// over the cached topological order.
+//
+// A Closure is immutable once built and therefore safe for concurrent
+// use. It is obtained from Graph.Closure, which caches it on the graph:
+// finalized graphs cannot be mutated (AddOp and AddEdge panic after
+// Finalize), so a cached closure can never go stale. If the graph
+// construction API ever grows post-finalize mutation, the mutator must
+// drop the cached closure (and the cached topological order) as part of
+// the same change — that is the invalidation contract; see DESIGN.md
+// §12.
+type Closure struct {
+	n     int
+	words int
+	fwd   []uint64
+	bwd   []uint64
+}
+
+// Closure returns the graph's transitive closure, building and caching
+// it on first use. The graph must be finalized. Concurrent first calls
+// may race to build; every build is deterministic and identical, so
+// whichever publication wins is correct (the loser's work is discarded).
+func (g *Graph) Closure() *Closure {
+	if c := g.closure.Load(); c != nil {
+		return c
+	}
+	if !g.finalized {
+		panic("graph: Closure before Finalize")
+	}
+	c := g.buildClosure()
+	g.closure.Store(c)
+	return c
+}
+
+// buildClosure runs the bitset dynamic program: descendants in reverse
+// topological order (a vertex's row is the OR of each successor's bit
+// and row), ancestors symmetrically in forward order.
+func (g *Graph) buildClosure() *Closure {
+	n := len(g.ops)
+	words := (n + 63) / 64
+	c := &Closure{
+		n:     n,
+		words: words,
+		fwd:   make([]uint64, n*words),
+		bwd:   make([]uint64, n*words),
+	}
+	order := g.topo
+	for i := n - 1; i >= 0; i-- {
+		v := int(order[i])
+		row := c.fwd[v*words : (v+1)*words]
+		for _, a := range g.succ[v] {
+			u := int(a.op)
+			row[u>>6] |= 1 << (uint(u) & 63)
+			urow := c.fwd[u*words : (u+1)*words]
+			for w := range row {
+				row[w] |= urow[w]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		v := int(order[i])
+		row := c.bwd[v*words : (v+1)*words]
+		for _, a := range g.pred[v] {
+			u := int(a.op)
+			row[u>>6] |= 1 << (uint(u) & 63)
+			urow := c.bwd[u*words : (u+1)*words]
+			for w := range row {
+				row[w] |= urow[w]
+			}
+		}
+	}
+	return c
+}
+
+// Reachable reports whether there is a directed path of length >= 1
+// from u to v. O(1): one bit probe.
+func (c *Closure) Reachable(u, v OpID) bool {
+	return c.fwd[int(u)*c.words+int(v)>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// Independent reports whether neither u reaches v nor v reaches u, so
+// the two operators may execute concurrently.
+func (c *Closure) Independent(u, v OpID) bool {
+	return u != v && !c.Reachable(u, v) && !c.Reachable(v, u)
+}
+
+// AllIndependent reports whether the operators are pairwise independent.
+// O(k²) bit probes for k operators.
+func (c *Closure) AllIndependent(ids []OpID) bool {
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[i] == ids[j] || c.Reachable(ids[i], ids[j]) || c.Reachable(ids[j], ids[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NumDescendants returns the number of vertices reachable from v
+// (excluding v itself): one popcount sweep over v's row.
+func (c *Closure) NumDescendants(v OpID) int {
+	row := c.fwd[int(v)*c.words : (int(v)+1)*c.words]
+	s := 0
+	for _, w := range row {
+		s += bits.OnesCount64(w)
+	}
+	return s
+}
+
+// NumAncestors returns the number of vertices from which v is reachable
+// (excluding v itself).
+func (c *Closure) NumAncestors(v OpID) int {
+	row := c.bwd[int(v)*c.words : (int(v)+1)*c.words]
+	s := 0
+	for _, w := range row {
+		s += bits.OnesCount64(w)
+	}
+	return s
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // OpID identifies an operator inside one Graph. IDs are dense: a graph with
@@ -65,6 +66,16 @@ type Graph struct {
 	// Adjacency, built by Finalize.
 	succ [][]adj // outgoing edges per op
 	pred [][]adj // incoming edges per op
+
+	// topo is the topological order computed (and validated) by
+	// Finalize, served by TopoOrder without recomputation. Finalized
+	// graphs are immutable, so it can never go stale.
+	topo []OpID
+
+	// closure caches the transitive-closure bitset built lazily by
+	// Closure. Atomic so concurrent sweep workers may share one graph;
+	// see the invalidation contract on type Closure.
+	closure atomic.Pointer[Closure]
 
 	finalized bool
 }
@@ -138,11 +149,13 @@ func (g *Graph) Finalize() error {
 		sort.Slice(g.pred[v], func(i, j int) bool { return g.pred[v][i].op < g.pred[v][j].op })
 	}
 	g.finalized = true
-	if _, err := g.TopoOrder(); err != nil {
+	order, err := g.computeTopoOrder()
+	if err != nil {
 		g.finalized = false
 		g.succ, g.pred = nil, nil
 		return err
 	}
+	g.topo = order
 	return nil
 }
 
@@ -198,6 +211,21 @@ func (g *Graph) OutDegree(v OpID) int { return len(g.succ[v]) }
 
 // InDegree returns the number of incoming edges of v.
 func (g *Graph) InDegree(v OpID) int { return len(g.pred[v]) }
+
+// SuccAt returns the i-th outgoing edge of v (successor and transfer
+// time), 0 <= i < OutDegree(v). The indexed form lets hot loops iterate
+// adjacency without the callback closure of Succs.
+func (g *Graph) SuccAt(v OpID, i int) (OpID, float64) {
+	a := g.succ[v][i]
+	return a.op, g.edges[a.edge].Time
+}
+
+// PredAt returns the i-th incoming edge of v (predecessor and transfer
+// time), 0 <= i < InDegree(v).
+func (g *Graph) PredAt(v OpID, i int) (OpID, float64) {
+	a := g.pred[v][i]
+	return a.op, g.edges[a.edge].Time
+}
 
 // HasEdge reports whether the direct edge u -> v exists.
 func (g *Graph) HasEdge(u, v OpID) bool {

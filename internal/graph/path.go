@@ -20,20 +20,44 @@ package graph
 // topological order, together with the path's length. If no unscheduled
 // vertex exists, it returns (nil, 0).
 //
-// Complexity: O(|V| + |E|) per call via dynamic programming over a
-// topological order, improving on the O(|V|²·|E|) bound the paper states.
+// Complexity: O(|V| + |E|) per call via dynamic programming over the
+// cached topological order, improving on the O(|V|²·|E|) bound the paper
+// states. This is the one-shot form; HIOS-LP extracts one path per
+// mapping round over the same graph and holds a PathFinder so the
+// per-call scratch is reused.
+func (g *Graph) LongestValidPath(unscheduled []bool) ([]OpID, float64) {
+	var pf PathFinder
+	return pf.Find(g, unscheduled)
+}
+
+// PathFinder holds the scratch buffers of LongestValidPath so repeated
+// extractions over one graph run without per-call allocation. The zero
+// value is ready to use. Not safe for concurrent use.
+type PathFinder struct {
+	boundary   []bool
+	startBonus []float64
+	endBonus   []float64
+	ext        []float64
+	parent     []OpID
+	rev        []OpID
+	path       []OpID
+}
+
+// Find is LongestValidPath with reusable scratch. The returned slice
+// aliases the finder's scratch and is valid until the next Find call;
+// callers that retain it must copy it.
 //
-// HIOS-LP calls this once per extracted path, so the adjacency callbacks
-// below are allocated once per call (not per vertex): each captures the
-// shared cursor cur instead of the sweep's loop variable.
+// The adjacency callbacks below are allocated once per call (not per
+// vertex): each captures the shared cursor cur instead of the sweep's
+// loop variable.
 //
 //lint:hotpath
-func (g *Graph) LongestValidPath(unscheduled []bool) ([]OpID, float64) {
+func (pf *PathFinder) Find(g *Graph, unscheduled []bool) ([]OpID, float64) {
 	n := len(g.ops)
-	order, err := g.TopoOrder()
-	if err != nil {
-		panic("graph: LongestValidPath on cyclic graph: " + err.Error())
+	if !g.finalized {
+		panic("graph: LongestValidPath before Finalize")
 	}
+	order := g.topo
 
 	// boundary[v]: v (unscheduled) has at least one edge to or from a
 	// scheduled vertex, so it may only appear as the path's first or
@@ -42,23 +66,28 @@ func (g *Graph) LongestValidPath(unscheduled []bool) ([]OpID, float64) {
 	// claimable when v is the path's first vertex.
 	// endBonus[v]: heaviest outgoing edge to a scheduled vertex —
 	// claimable when v is the path's last vertex.
-	boundary := make([]bool, n)
-	startBonus := make([]float64, n)
-	endBonus := make([]float64, n)
+	pf.boundary = growScratch(pf.boundary, n)
+	pf.startBonus = growScratch(pf.startBonus, n)
+	pf.endBonus = growScratch(pf.endBonus, n)
+	for v := 0; v < n; v++ {
+		pf.boundary[v] = false
+		pf.startBonus[v] = 0
+		pf.endBonus[v] = 0
+	}
 	var cur OpID
 	markPred := func(from OpID, transfer float64) {
 		if !unscheduled[from] {
-			boundary[cur] = true
-			if transfer > startBonus[cur] {
-				startBonus[cur] = transfer
+			pf.boundary[cur] = true
+			if transfer > pf.startBonus[cur] {
+				pf.startBonus[cur] = transfer
 			}
 		}
 	}
 	markSucc := func(to OpID, transfer float64) {
 		if !unscheduled[to] {
-			boundary[cur] = true
-			if transfer > endBonus[cur] {
-				endBonus[cur] = transfer
+			pf.boundary[cur] = true
+			if transfer > pf.endBonus[cur] {
+				pf.endBonus[cur] = transfer
 			}
 		}
 	}
@@ -76,10 +105,11 @@ func (g *Graph) LongestValidPath(unscheduled []bool) ([]OpID, float64) {
 	// (non-boundary). Such a path can still be extended past v only if v
 	// itself is non-boundary; predecessors enforce that via extendFrom.
 	// parent[v]: predecessor of v on that path (None when v starts it).
-	ext := make([]float64, n)
-	parent := make([]OpID, n)
-	for i := range parent {
-		parent[i] = None
+	pf.ext = growScratch(pf.ext, n)
+	pf.parent = growScratch(pf.parent, n)
+	for v := 0; v < n; v++ {
+		pf.ext[v] = 0
+		pf.parent[v] = None
 	}
 
 	extend := func(from OpID, transfer float64) {
@@ -91,13 +121,13 @@ func (g *Graph) LongestValidPath(unscheduled []bool) ([]OpID, float64) {
 		// vertex. A boundary predecessor may therefore only
 		// contribute as a path start: its usable length is the
 		// single-vertex path (with its own start bonus).
-		extendFrom := ext[from]
-		if boundary[from] {
-			extendFrom = g.ops[from].Time + startBonus[from]
+		extendFrom := pf.ext[from]
+		if pf.boundary[from] {
+			extendFrom = g.ops[from].Time + pf.startBonus[from]
 		}
-		if l := g.ops[cur].Time + transfer + extendFrom; l > ext[cur] {
-			ext[cur] = l
-			parent[cur] = from
+		if l := g.ops[cur].Time + transfer + extendFrom; l > pf.ext[cur] {
+			pf.ext[cur] = l
+			pf.parent[cur] = from
 		}
 	}
 
@@ -109,12 +139,12 @@ func (g *Graph) LongestValidPath(unscheduled []bool) ([]OpID, float64) {
 		}
 		// Base case: the path starts at v; the incoming boundary edge
 		// (if any) counts because v is the first vertex.
-		ext[v] = g.ops[v].Time + startBonus[v]
+		pf.ext[v] = g.ops[v].Time + pf.startBonus[v]
 		cur = v
 		g.Preds(v, extend)
 		// Candidate full path ending at v: add the outgoing boundary
 		// edge, since v is the last vertex.
-		if total := ext[v] + endBonus[v]; bestEnd == None || total > bestLen {
+		if total := pf.ext[v] + pf.endBonus[v]; bestEnd == None || total > bestLen {
 			bestEnd, bestLen = v, total
 		}
 	}
@@ -128,24 +158,33 @@ func (g *Graph) LongestValidPath(unscheduled []bool) ([]OpID, float64) {
 	// parent pointer is only followed when ext (not the start-only
 	// length) was used. We must therefore cut the walk at the first
 	// boundary vertex after the end vertex.
-	rev := make([]OpID, 0, n)
+	pf.rev = growScratch(pf.rev, n)[:0]
 	v := bestEnd
 	for {
-		rev = append(rev, v)
-		p := parent[v]
+		pf.rev = append(pf.rev, v)
+		p := pf.parent[v]
 		if p == None {
 			break
 		}
-		if boundary[p] {
+		if pf.boundary[p] {
 			// p contributed as a path start; include it and stop.
-			rev = append(rev, p)
+			pf.rev = append(pf.rev, p)
 			break
 		}
 		v = p
 	}
-	path := make([]OpID, len(rev))
-	for i, id := range rev {
-		path[len(rev)-1-i] = id
+	pf.path = growScratch(pf.path, len(pf.rev))
+	for i, id := range pf.rev {
+		pf.path[len(pf.rev)-1-i] = id
 	}
-	return path, bestLen
+	return pf.path, bestLen
+}
+
+// growScratch returns buf resized to n, reusing its backing array when
+// large enough. Contents are unspecified.
+func growScratch[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
 }

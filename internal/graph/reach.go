@@ -1,34 +1,15 @@
 package graph
 
 // Reachable reports whether there is a directed path (of length >= 1) from
-// u to v. BFS over successors; O(|V| + |E|).
+// u to v. On a finalized graph this is one bit probe into the cached
+// transitive closure (built on first use, O(V·E/64)); see Closure.
+//
+//lint:hotpath
 func (g *Graph) Reachable(u, v OpID) bool {
 	if u == v {
 		return false
 	}
-	seen := make([]bool, len(g.ops))
-	queue := []OpID{u}
-	seen[u] = true
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
-		found := false
-		g.Succs(x, func(to OpID, _ float64) {
-			if found || seen[to] {
-				return
-			}
-			if to == v {
-				found = true
-				return
-			}
-			seen[to] = true
-			queue = append(queue, to)
-		})
-		if found {
-			return true
-		}
-	}
-	return false
+	return g.Closure().Reachable(u, v)
 }
 
 // Independent reports whether neither u reaches v nor v reaches u: the two
@@ -39,14 +20,59 @@ func (g *Graph) Independent(u, v OpID) bool {
 
 // AllIndependent reports whether the operators are pairwise independent.
 func (g *Graph) AllIndependent(ids []OpID) bool {
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			if !g.Independent(ids[i], ids[j]) {
-				return false
+	return g.Closure().AllIndependent(ids)
+}
+
+// ReachScratch holds the reusable BFS state of ReachableBFS: an
+// epoch-stamped visited array, so repeated queries neither allocate nor
+// clear. The zero value is ready to use. Not safe for concurrent use.
+type ReachScratch struct {
+	seen  []int32
+	epoch int32
+	queue []OpID
+}
+
+// ReachableBFS answers the same query as Reachable by breadth-first
+// search over the adjacency, without consulting (or building) the
+// closure. It is the fallback for callers that cannot amortize a
+// closure build — a graph still under construction-and-refinalization
+// churn, or a one-shot query on a huge graph — and the differential
+// oracle the closure is tested against. O(|V| + |E|) per query,
+// allocation-free once the scratch is warm.
+func (g *Graph) ReachableBFS(rs *ReachScratch, u, v OpID) bool {
+	if u == v {
+		return false
+	}
+	n := len(g.ops)
+	if cap(rs.seen) < n {
+		rs.seen = make([]int32, n)
+		rs.epoch = 0
+	}
+	rs.seen = rs.seen[:n]
+	rs.epoch++
+	if rs.epoch == 0 { // wrapped: clear and restart epochs
+		for i := range rs.seen {
+			rs.seen[i] = 0
+		}
+		rs.epoch = 1
+	}
+	rs.queue = rs.queue[:0]
+	rs.queue = append(rs.queue, u)
+	rs.seen[u] = rs.epoch
+	for qi := 0; qi < len(rs.queue); qi++ {
+		x := rs.queue[qi]
+		for _, a := range g.succ[x] {
+			if rs.seen[a.op] == rs.epoch {
+				continue
 			}
+			if a.op == v {
+				return true
+			}
+			rs.seen[a.op] = rs.epoch
+			rs.queue = append(rs.queue, a.op)
 		}
 	}
-	return true
+	return false
 }
 
 // Contraction is a view of a graph in which groups of vertices have been
@@ -62,6 +88,13 @@ type Contraction struct {
 	// data edges of g: Algorithm 2's implicit dependencies, i.e. the
 	// sequential-order edges between consecutive stages on each GPU.
 	extra [][2]OpID
+
+	// Acyclic scratch, reused across calls (not copied by Clone).
+	cnt   []int
+	off   []int
+	flat  []OpID
+	indeg []int
+	ready []OpID
 }
 
 // NewContraction returns an identity contraction of g.
@@ -110,7 +143,7 @@ func (c *Contraction) AddEdge(u, v OpID) {
 func (c *Contraction) SameGroup(u, v OpID) bool { return c.Find(u) == c.Find(v) }
 
 // Clone returns an independent copy of the contraction (same underlying
-// graph). Used to trial a grouping before committing it.
+// graph, fresh scratch). Used to trial a grouping before committing it.
 func (c *Contraction) Clone() *Contraction {
 	rep := make([]OpID, len(c.rep))
 	copy(rep, c.rep)
@@ -123,59 +156,92 @@ func (c *Contraction) Clone() *Contraction {
 // underlying graph plus the extra edges, with grouped vertices merged) has
 // no directed cycle. Self-loops inside a group are ignored: members of one
 // stage are checked for independence separately.
+//
+// The super-node adjacency is built in CSR form over reusable scratch —
+// two counted passes over the edge lists into one flat successor array —
+// so repeated checks on one contraction allocate nothing once warm.
+// Parallel edges between two super-nodes are kept (Kahn's algorithm is
+// correct on multigraphs: in-degrees count edge multiplicity and every
+// traversal decrements symmetrically), which drops the historical
+// map-based dedupe entirely.
+//
+//lint:hotpath
 func (c *Contraction) Acyclic() bool {
 	n := c.g.NumOps()
-	// Build super-node adjacency. Representatives are a subset of 0..n-1.
-	adjSet := make(map[int64]struct{})
-	succ := make([][]OpID, n)
-	addEdge := func(u, v OpID) {
-		ru, rv := c.Find(u), c.Find(v)
-		if ru == rv {
-			return
-		}
-		key := int64(ru)*int64(n) + int64(rv)
-		if _, ok := adjSet[key]; ok {
-			return
-		}
-		adjSet[key] = struct{}{}
-		succ[ru] = append(succ[ru], rv)
+	ne := len(c.g.edges) + len(c.extra)
+	c.cnt = growScratch(c.cnt, n)
+	c.off = growScratch(c.off, n+1)
+	c.flat = growScratch(c.flat, ne)
+	c.indeg = growScratch(c.indeg, n)
+	for v := 0; v < n; v++ {
+		c.cnt[v] = 0
+		c.indeg[v] = 0
 	}
-	for _, e := range c.g.Edges() {
-		addEdge(e.From, e.To)
+	// Counting pass over both edge lists.
+	for i := range c.g.edges {
+		e := &c.g.edges[i]
+		ru, rv := c.Find(e.From), c.Find(e.To)
+		if ru == rv {
+			continue
+		}
+		c.cnt[ru]++
+		c.indeg[rv]++
 	}
 	for _, e := range c.extra {
-		addEdge(e[0], e[1])
+		ru, rv := c.Find(e[0]), c.Find(e[1])
+		if ru == rv {
+			continue
+		}
+		c.cnt[ru]++
+		c.indeg[rv]++
+	}
+	// Prefix sums, then the fill pass in the same order (Find is now
+	// fully path-compressed, so the repeated lookups are cheap).
+	sum := 0
+	for v := 0; v < n; v++ {
+		c.off[v] = sum
+		sum += c.cnt[v]
+		c.cnt[v] = c.off[v] // becomes the fill cursor
+	}
+	c.off[n] = sum
+	for i := range c.g.edges {
+		e := &c.g.edges[i]
+		ru, rv := c.Find(e.From), c.Find(e.To)
+		if ru == rv {
+			continue
+		}
+		c.flat[c.cnt[ru]] = rv
+		c.cnt[ru]++
+	}
+	for _, e := range c.extra {
+		ru, rv := c.Find(e[0]), c.Find(e[1])
+		if ru == rv {
+			continue
+		}
+		c.flat[c.cnt[ru]] = rv
+		c.cnt[ru]++
 	}
 	// Kahn over representatives.
-	indeg := make([]int, n)
-	isRep := make([]bool, n)
 	nrep := 0
+	c.ready = c.ready[:0]
 	for v := 0; v < n; v++ {
 		if c.Find(OpID(v)) == OpID(v) {
-			isRep[v] = true
 			nrep++
-		}
-	}
-	for v := 0; v < n; v++ {
-		for _, w := range succ[v] {
-			indeg[w]++
-		}
-	}
-	var ready []OpID
-	for v := 0; v < n; v++ {
-		if isRep[v] && indeg[v] == 0 {
-			ready = append(ready, OpID(v))
+			if c.indeg[v] == 0 {
+				c.ready = append(c.ready, OpID(v))
+			}
 		}
 	}
 	visited := 0
-	for len(ready) > 0 {
-		v := ready[len(ready)-1]
-		ready = ready[:len(ready)-1]
+	for len(c.ready) > 0 {
+		v := c.ready[len(c.ready)-1]
+		c.ready = c.ready[:len(c.ready)-1]
 		visited++
-		for _, w := range succ[v] {
-			indeg[w]--
-			if indeg[w] == 0 {
-				ready = append(ready, w)
+		for k := c.off[v]; k < c.off[v+1]; k++ {
+			w := c.flat[k]
+			c.indeg[w]--
+			if c.indeg[w] == 0 {
+				c.ready = append(c.ready, w)
 			}
 		}
 	}

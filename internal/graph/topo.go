@@ -5,7 +5,19 @@ import "sort"
 // TopoOrder returns a topological order of all operators (Kahn's algorithm,
 // smallest-ID-first for determinism). It returns ErrCycle if the graph is
 // not acyclic.
+//
+// On a finalized graph the order is computed once by Finalize and the
+// cached slice is returned; callers must not modify it.
 func (g *Graph) TopoOrder() ([]OpID, error) {
+	if g.topo != nil {
+		return g.topo, nil
+	}
+	return g.computeTopoOrder()
+}
+
+// computeTopoOrder runs the Kahn sweep. Finalize calls it once to
+// validate acyclicity and populate the cache behind TopoOrder.
+func (g *Graph) computeTopoOrder() ([]OpID, error) {
 	n := len(g.ops)
 	indeg := make([]int, n)
 	for v := 0; v < n; v++ {
@@ -130,7 +142,7 @@ func (g *Graph) ByPriorityWith(p []float64) []OpID {
 		ids[i] = OpID(i)
 	}
 	sort.SliceStable(ids, func(i, j int) bool {
-		if p[ids[i]] != p[ids[j]] {
+		if p[ids[i]] != p[ids[j]] { //lint:floatexact comparator tie-break: epsilon would break the strict weak order
 			return p[ids[i]] > p[ids[j]]
 		}
 		return ids[i] < ids[j]

@@ -106,6 +106,8 @@ type Evaluator struct {
 	start   []units.Millis
 	finish  []units.Millis
 	dur     []units.Millis
+	topoSeq []int32      // stage ids in the order the Kahn sweep finished them
+	topoPos []int32      // stage id -> index in topoSeq
 	one     []graph.OpID // singleton-stage scratch for LatencyFromPlacement
 }
 
@@ -322,9 +324,13 @@ func (e *Evaluator) finishCompute(g *graph.Graph, m cost.Model, ns int) (units.M
 
 	// Longest-path over the stage DAG (Kahn order); a leftover node
 	// means a cycle (deadlock: mutually waiting stages, the "implicit
-	// dependency" loop Algorithm 2 must detect).
+	// dependency" loop Algorithm 2 must detect). The visit order is
+	// recorded: it is a topological order of the stage DAG, which the
+	// incremental evaluator's dirty-frontier propagation keys on.
 	e.start = growSlice(e.start, ns)
 	e.finish = growSlice(e.finish, ns)
+	e.topoSeq = growSlice(e.topoSeq, ns)
+	e.topoPos = growSlice(e.topoPos, ns)
 	e.ready = e.ready[:0]
 	for id := 0; id < ns; id++ {
 		if e.indeg[id] == 0 {
@@ -336,6 +342,8 @@ func (e *Evaluator) finishCompute(g *graph.Graph, m cost.Model, ns int) (units.M
 	for len(e.ready) > 0 {
 		id := e.ready[len(e.ready)-1]
 		e.ready = e.ready[:len(e.ready)-1]
+		e.topoSeq[visited] = int32(id)
+		e.topoPos[id] = int32(visited)
 		visited++
 		t := units.Millis(0)
 		for k := e.depOff[id]; k < e.depOff[id+1]; k++ {
@@ -407,10 +415,25 @@ func (e *Evaluator) timing(g *graph.Graph, m cost.Model, s *Schedule) (*Timing, 
 }
 
 // growSlice returns buf resized to n, reusing its backing array when
-// large enough. Contents are unspecified.
+// large enough. Contents are unspecified. Fresh storage is exact-size:
+// a one-shot evaluation pays for precisely what it touches. Callers
+// that grow a little on every round want growSliceCap instead.
 func growSlice[T any](buf []T, n int) []T {
 	if cap(buf) < n {
 		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// growSliceCap is growSlice with 2x capacity headroom on fresh storage,
+// for arrays that grow a little on every round — the incremental
+// evaluator's commit splices extend their double-buffered arrays by one
+// path per committed mapping, and exact-size storage would reallocate
+// every one of them on every commit (the swapped-out buffer is always
+// one path short).
+func growSliceCap[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n, 2*n)
 	}
 	return buf[:n]
 }

@@ -138,51 +138,16 @@ func Blocks(g *graph.Graph) [][]graph.OpID {
 	for i, v := range order {
 		pos[v] = i
 	}
-	// desc[v] = number of operators reachable from v (excluding v);
-	// anc[v] likewise for ancestors. v is a separator iff
-	// anc[v] + desc[v] == n-1.
-	reachCount := func(forward bool) []int {
-		counts := make([]int, n)
-		// Bitset DP over reverse topological order.
-		words := (n + 63) / 64
-		sets := make([][]uint64, n)
-		topo, _ := g.TopoOrder()
-		seq := topo
-		if forward {
-			seq = make([]graph.OpID, n)
-			for i, v := range topo {
-				seq[n-1-i] = v
-			}
-		}
-		for _, v := range seq {
-			set := make([]uint64, words)
-			visit := func(u graph.OpID) {
-				set[u/64] |= 1 << (uint(u) % 64)
-				for w := 0; w < words; w++ {
-					set[w] |= sets[u][w]
-				}
-			}
-			if forward {
-				g.Succs(v, func(u graph.OpID, _ float64) { visit(u) })
-			} else {
-				g.Preds(v, func(u graph.OpID, _ float64) { visit(u) })
-			}
-			sets[v] = set
-			c := 0
-			for w := 0; w < words; w++ {
-				c += popcount(set[w])
-			}
-			counts[v] = c
-		}
-		return counts
-	}
-	desc := reachCount(true)
-	anc := reachCount(false)
-
+	// v is a separator iff every other operator is an ancestor or a
+	// descendant: NumAncestors(v) + NumDescendants(v) == n-1, answered by
+	// popcounts over the graph's cached transitive-closure bitset (which
+	// replaces the hand-rolled per-call bitset DP this function carried).
+	cl := g.Closure()
 	var seps []graph.OpID
 	for v := 0; v < n; v++ {
-		if anc[v]+desc[v] == n-1 {
-			seps = append(seps, graph.OpID(v))
+		id := graph.OpID(v)
+		if cl.NumAncestors(id)+cl.NumDescendants(id) == n-1 {
+			seps = append(seps, id)
 		}
 	}
 	sort.Slice(seps, func(i, j int) bool { return pos[seps[i]] < pos[seps[j]] })
@@ -221,13 +186,4 @@ func Blocks(g *graph.Graph) [][]graph.OpID {
 		}
 	}
 	return out
-}
-
-func popcount(x uint64) int {
-	c := 0
-	for x != 0 {
-		x &= x - 1
-		c++
-	}
-	return c
 }

@@ -72,10 +72,30 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 	prio := g.PriorityIndicators()
 	order := g.ByPriorityWith(prio)
 
-	// One evaluator serves every trial mapping: Algorithm 1 evaluates
-	// M partial schedules per extracted path, and the scratch buffers
-	// carry over between calls.
+	// The M trial mappings per extracted path run through the incremental
+	// evaluator: each trial re-propagates only the inserted path's dirty
+	// frontier, bounded by the incumbent best, and the winning mapping is
+	// committed by splicing the path into the baseline (CommitInsert)
+	// rather than re-evaluating the whole placement. That requires
+	// every data edge to point forward in the priority order — guaranteed
+	// for positive operator times, where descending p(v) is topological,
+	// and checked once here so degenerate graphs (zero-time operators can
+	// tie) fall back to full trial evaluations. Trial values are
+	// bit-identical either way.
+	var ie sched.IncrementalEvaluator
 	var ev sched.Evaluator
+	var pf graph.PathFinder
+	pos := make([]int, n)
+	for i, op := range order {
+		pos[op] = i
+	}
+	incremental := true
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			incremental = false
+			break
+		}
+	}
 
 	unscheduled := make([]bool, n)
 	for i := range unscheduled {
@@ -85,10 +105,15 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 	for i := range place {
 		place[i] = -1
 	}
+	if incremental {
+		if _, err := ie.RebasePlacement(g, m, opt.GPUs, order, place); err != nil {
+			return sched.Result{}, fmt.Errorf("lp: empty placement: %w", err)
+		}
+	}
 
 	remaining := n
 	for remaining > 0 {
-		path, _ := g.LongestValidPath(unscheduled)
+		path, _ := pf.Find(g, unscheduled)
 		if len(path) == 0 {
 			return sched.Result{}, fmt.Errorf("lp: no path found with %d operators unscheduled", remaining)
 		}
@@ -102,23 +127,38 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 		// index, which also exploits GPU homogeneity for the first
 		// path — every device is equivalent, so GPU 0 wins). The trial
 		// evaluates the placement directly — no Schedule object is
-		// built until the mapping loop settles.
+		// built until the mapping loop settles. A trial cut off by the
+		// incumbent bound (ok == false) proved it cannot win: it never
+		// strictly beats best, which is also what breaks the tie.
 		best := units.Millis(math.Inf(1))
 		bestGPU := 0
-		for gi := 0; gi < opt.GPUs; gi++ {
-			for _, v := range path {
-				place[v] = gi
+		if incremental {
+			// path is a directed chain, so its topological order is
+			// ascending priority position, as TrialInsert requires.
+			for gi := 0; gi < opt.GPUs; gi++ {
+				if lat, ok := ie.TrialInsert(gi, path, best); ok && lat < best {
+					best, bestGPU = lat, gi
+				}
 			}
-			lat, err := ev.LatencyFromPlacement(g, m, opt.GPUs, order, place)
-			if err != nil {
-				return sched.Result{}, fmt.Errorf("lp: trial mapping on GPU %d: %w", gi, err)
-			}
-			if lat < best {
-				best, bestGPU = lat, gi
+		} else {
+			for gi := 0; gi < opt.GPUs; gi++ {
+				for _, v := range path {
+					place[v] = gi
+				}
+				lat, err := ev.LatencyFromPlacement(g, m, opt.GPUs, order, place)
+				if err != nil {
+					return sched.Result{}, fmt.Errorf("lp: trial mapping on GPU %d: %w", gi, err)
+				}
+				if lat < best {
+					best, bestGPU = lat, gi
+				}
 			}
 		}
 		for _, v := range path {
 			place[v] = bestGPU
+		}
+		if incremental && remaining > 0 {
+			ie.CommitInsert(bestGPU, path)
 		}
 	}
 

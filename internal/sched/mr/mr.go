@@ -89,34 +89,15 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 	// Scratch buffers for the chain replay.
 	tF := make([]units.Millis, n)
 	gOf := make([]int, n)
+	avail := make([]units.Millis, M)
 
-	// Data-readiness callback (lines 15–19), allocated once: it runs for
-	// every predecessor of v_i inside the (i, j, k) triple loop, where a
-	// closure literal would allocate n·M² times. The cur* variables carry
-	// the loop state into the callback.
-	var (
-		curI  int
-		curVi graph.OpID
-		curJ  int
-		curTk units.Millis
-		curOK bool
-	)
-	ready := func(u graph.OpID, _ float64) {
-		lu := pos[u]
-		if lu >= curI {
-			// A predecessor later in the priority order would violate
-			// topological ordering; cannot happen with positive op
-			// times.
-			curOK = false
-			return
-		}
-		r := tF[lu] + cost.CommBetween(m, u, curVi, gOf[lu], curJ)
-		if r > curTk {
-			curTk = r
-		}
-	}
-
-	// Lines 6–21.
+	// Lines 6–21, with k as the outer loop: the recorded chain and the
+	// per-GPU availability depend only on (i, k), so both are
+	// reconstructed once and shared by every candidate GPU j — an
+	// O(n·M·(n+M)) replay cost instead of the naive O(n²·M²). For each
+	// fixed j the k values still arrive in ascending order, and the
+	// strict < below keeps the first minimal k, so the table (and hence
+	// the schedule) is identical to the j-outer formulation.
 	for i := 1; i < n; i++ {
 		vi := order[i]
 		maxJ := M
@@ -127,36 +108,47 @@ func Schedule(g *graph.Graph, m cost.Model, opt Options) (sched.Result, error) {
 		if i < maxK {
 			maxK = i
 		}
-		for j := 0; j < maxJ; j++ {
-			for k := 0; k < maxK; k++ {
-				if math.IsInf(float64(tTab[(i-1)*M+k]), 1) {
-					continue // v_{i-1} cannot finish on GPU k
+		for k := 0; k < maxK; k++ {
+			if math.IsInf(float64(tTab[(i-1)*M+k]), 1) {
+				continue // v_{i-1} cannot finish on GPU k
+			}
+			// Lines 10–12: replay the recorded chain to recover each
+			// earlier operator's GPU and finish time under "v_{i-1}
+			// on GPU k".
+			mm := k
+			for l := i - 1; l >= 0; l-- {
+				tF[l] = tTab[l*M+mm]
+				gOf[l] = mm
+				mm = gTab[l*M+mm]
+			}
+			// Line 14: every GPU's availability in one pass.
+			for j := 0; j < M; j++ {
+				avail[j] = 0
+			}
+			for l := 0; l < i; l++ {
+				if tF[l] > avail[gOf[l]] {
+					avail[gOf[l]] = tF[l]
 				}
-				// Lines 10–12: replay the recorded chain to
-				// recover each earlier operator's GPU and
-				// finish time under "v_{i-1} on GPU k".
-				mm := k
-				for l := i - 1; l >= 0; l-- {
-					tF[l] = tTab[l*M+mm]
-					gOf[l] = mm
-					mm = gTab[l*M+mm]
-				}
-				// Line 14: GPU j availability.
-				tk := units.Millis(0)
-				for l := 0; l < i; l++ {
-					if gOf[l] == j && tF[l] > tk {
-						tk = tF[l]
+			}
+			for j := 0; j < maxJ; j++ {
+				// Lines 15–19: data readiness of v_i's inputs.
+				tk := avail[j]
+				for p := 0; p < g.InDegree(vi); p++ {
+					u, _ := g.PredAt(vi, p)
+					lu := pos[u]
+					if lu >= i {
+						// A predecessor later in the priority
+						// order would violate topological
+						// ordering; cannot happen with positive
+						// op times.
+						return sched.Result{}, fmt.Errorf("mr: priority order is not topological at operator %d", vi)
+					}
+					if r := tF[lu] + cost.CommBetween(m, u, vi, gOf[lu], j); r > tk {
+						tk = r
 					}
 				}
-				// Lines 15–19: data readiness of v_i's inputs.
-				curI, curVi, curJ = i, vi, j
-				curTk, curOK = tk, true
-				g.Preds(vi, ready)
-				if !curOK {
-					return sched.Result{}, fmt.Errorf("mr: priority order is not topological at operator %d", vi)
-				}
 				// Lines 20–21.
-				if f := curTk + m.OpTime(vi); f < tTab[i*M+j] {
+				if f := tk + m.OpTime(vi); f < tTab[i*M+j] {
 					tTab[i*M+j] = f
 					gTab[i*M+j] = k
 				}

@@ -60,9 +60,9 @@ func ParallelizeFixpoint(g *graph.Graph, m cost.Model, s *sched.Schedule, w, max
 //
 //lint:hotpath
 func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.Result, error) {
-	var ev sched.Evaluator
+	var ie sched.IncrementalEvaluator
 	cur := s.CompactClone()
-	curLat, err := ev.Latency(g, m, cur)
+	curLat, err := ie.Rebase(g, m, cur)
 	if err != nil {
 		return sched.Result{}, err
 	}
@@ -77,23 +77,15 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 
 	order := g.ByPriority()
 
-	// Scratch shared by every window position: the fused-member buffer,
-	// one candidate schedule and its stage list. A candidate aliases
-	// cur's untouched stages plus these buffers and is deep-materialized
-	// (commitStages) only when it improves the latency, so the O(w·n)
-	// rejected candidates are evaluated without allocating. Sharing is
-	// safe because nothing here (or in the evaluator) mutates a stage's
-	// Ops in place; the merged stage's members live in the scratch buffer
-	// until committed.
-	maxStages := 0
-	for gi := range cur.GPUs {
-		if l := len(cur.GPUs[gi].Stages); l > maxStages {
-			maxStages = l
-		}
-	}
+	// Candidate fusions run through the incremental evaluator against the
+	// rebased baseline of cur: no candidate schedule is materialized, only
+	// the fusion's dirty cone is re-propagated, and the incumbent latency
+	// is the early-exit bound. Trial results are bit-identical to a full
+	// evaluation of the materialized candidate, so committed schedules
+	// (and the testdata goldens) are unchanged. Committing splices the
+	// winning fusion into the baseline (CommitFuse) instead of paying a
+	// full re-evaluation per improvement.
 	members := make([]graph.OpID, 0, w)
-	candStages := make([]sched.Stage, 0, maxStages)
-	cand := &sched.Schedule{GPUs: make([]sched.GPUSchedule, len(cur.GPUs))}
 
 	for i := 0; i < len(order)-1; i++ {
 		v := order[i]
@@ -109,6 +101,7 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 		}
 		// Try window sizes p+1 = 2..w and keep the best improvement.
 		bestLat := curLat
+		bestP := 0
 		var bestStages []sched.Stage
 		for p := 1; p <= w-1; p++ {
 			if si+p >= len(stages) {
@@ -125,10 +118,13 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 			for k := si; k <= si+p; k++ {
 				members = append(members, stages[k].Ops...)
 			}
-			if hasDirectEdge(g, members) {
-				// Directly dependent operators can never share
-				// a stage; a larger window containing the same
-				// pair cannot either.
+			if !g.AllIndependent(members) {
+				// Dependent operators can never share a stage; a
+				// larger window containing the same pair cannot
+				// either. The O(1) closure probe subsumes the old
+				// direct-edge scan: a transitively dependent pair
+				// would have been rejected as a stage-graph cycle
+				// during evaluation, which also stopped extending.
 				break
 			}
 			// Keep the merged stage sorted for deterministic output.
@@ -137,18 +133,7 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 					members[b], members[b-1] = members[b-1], members[b]
 				}
 			}
-			// Assemble the candidate in scratch: cur's GPU queues with
-			// stages si..si+p on GPU gi merged at position si.
-			copy(cand.GPUs, cur.GPUs)
-			if cap(candStages) < len(stages)-p {
-				candStages = make([]sched.Stage, 0, len(stages)-p)
-			}
-			candStages = candStages[:0]
-			candStages = append(candStages, stages[:si]...)
-			candStages = append(candStages, sched.Stage{Ops: members})
-			candStages = append(candStages, stages[si+p+1:]...)
-			cand.GPUs[gi].Stages = candStages
-			lat, err := ev.Latency(g, m, cand)
+			lat, ok, err := ie.TrialFuse(gi, si, p, members, bestLat)
 			if err != nil {
 				// The fusion created a dependency cycle in the
 				// scheduled computation graph (Algorithm 2,
@@ -156,14 +141,14 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 				// windows contain this one, so stop extending.
 				break
 			}
-			if lat < bestLat {
+			if ok && lat < bestLat {
 				bestLat = lat
-				bestStages = commitStages(candStages, si)
+				bestP = p
+				bestStages = commitFusion(stages, si, p, members)
 			}
 		}
 		if bestStages != nil {
 			cur.GPUs[gi].Stages = bestStages
-			curLat = bestLat
 			// Re-index only the fused GPU from the fusion point on:
 			// the window collapsed into stage si and later stages
 			// shifted down. Other GPUs are untouched.
@@ -172,21 +157,28 @@ func Parallelize(g *graph.Graph, m cost.Model, s *sched.Schedule, w int) (sched.
 					stageOf[op] = k
 				}
 			}
+			lat, err := ie.CommitFuse(gi, si, bestP, bestStages[si].Ops)
+			if err != nil {
+				return sched.Result{}, err
+			}
+			curLat = lat
 		}
 	}
 	return sched.Result{Schedule: cur, Latency: curLat}, nil
 }
 
-// commitStages deep-materializes a scratch candidate stage list so it
-// outlives the scratch buffers: the merged stage at position si gets its
-// own member array; the surrounding stages already own theirs (they are
-// the committed stages of the current schedule, shared deliberately).
-func commitStages(stages []sched.Stage, si int) []sched.Stage {
-	out := make([]sched.Stage, len(stages))
-	copy(out, stages)
-	ops := make([]graph.OpID, len(stages[si].Ops))
-	copy(ops, stages[si].Ops)
-	out[si] = sched.Stage{Ops: ops}
+// commitFusion materializes the winning candidate's stage list for GPU
+// gi: stages si..si+p collapse into one stage holding members (copied out
+// of the trial scratch); the surrounding stages already own their member
+// arrays (they are the committed stages of the current schedule, shared
+// deliberately).
+func commitFusion(stages []sched.Stage, si, p int, members []graph.OpID) []sched.Stage {
+	out := make([]sched.Stage, 0, len(stages)-p)
+	out = append(out, stages[:si]...)
+	ops := make([]graph.OpID, len(members))
+	copy(ops, members)
+	out = append(out, sched.Stage{Ops: ops})
+	out = append(out, stages[si+p+1:]...)
 	return out
 }
 
@@ -234,18 +226,4 @@ func ExactPerGPU(g *graph.Graph, m cost.Model, s *sched.Schedule, iosOpt ios.Opt
 		}
 	}
 	return sched.Result{Schedule: cur, Latency: curLat}, nil
-}
-
-// hasDirectEdge reports whether any pair of members is directly dependent.
-// Transitive dependencies (paths through operators outside the window) are
-// caught by the cycle check during evaluation.
-func hasDirectEdge(g *graph.Graph, members []graph.OpID) bool {
-	for i := 0; i < len(members); i++ {
-		for j := 0; j < len(members); j++ {
-			if i != j && g.HasEdge(members[i], members[j]) {
-				return true
-			}
-		}
-	}
-	return false
 }
