@@ -309,8 +309,8 @@ func runDiff(oldPath, newPath string, maxNs, maxAllocs float64, filter string, g
 // benchmark whose baseline is 0 allocs/op stays 0-vs-0 in practice, and
 // anything divided by zero would otherwise mask every other column.
 func ratio(n, o float64) float64 {
-	if o == 0 { //lint:floatexact
-		if n == 0 { //lint:floatexact
+	if o == 0 { //lint:floatexact zero-baseline sentinel: absent baselines store exactly 0
+		if n == 0 { //lint:floatexact exact 0-vs-0 means the column never moved
 			return 1
 		}
 		return n // vs a zero baseline, report the raw value

@@ -1,0 +1,153 @@
+// Command hios-escape gates the module on the compiler's optimization
+// diagnostics. It builds the module with escape-analysis, inlining, and
+// bounds-check reporting turned on, folds the output into per-function
+// facts (internal/lint/escape), and either records them as the committed
+// baseline or diffs the current tree against it:
+//
+//	go run ./cmd/hios-escape record          # refresh ESCAPE_baseline.json
+//	go run ./cmd/hios-escape diff            # compare, exit 1 on hot regressions
+//	go run ./cmd/hios-escape diff -o out.json  # also write the current facts
+//
+// The diff is hotness-aware: functions annotated //lint:hotpath, or
+// reached from one through the module's static call graph (the same
+// propagation hotalloc uses), are enforced — a new heap escape, a lost
+// inlining, or a new surviving bounds check in one of them fails the run.
+// Everything else prints as advisory drift and exits 0; refresh the
+// baseline when the drift is deliberate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/shus-lab/hios/internal/lint"
+	"github.com/shus-lab/hios/internal/lint/analysis"
+	"github.com/shus-lab/hios/internal/lint/escape"
+)
+
+const baselineName = "ESCAPE_baseline.json"
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `usage: hios-escape <command> [flags]
+
+commands:
+  record   build with diagnostic flags and write the facts baseline
+           (-o path, default %s at the module root)
+  diff     build with diagnostic flags and compare against the baseline
+           (-baseline path; -o path writes the current facts too);
+           exits 1 when a hot-path function regressed
+`, baselineName)
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hios-escape:", err)
+		os.Exit(1)
+	}
+	switch cmd := flag.Arg(0); cmd {
+	case "record":
+		os.Exit(runRecord(root, flag.Args()[1:]))
+	case "diff":
+		os.Exit(runDiff(root, flag.Args()[1:]))
+	default:
+		fmt.Fprintf(os.Stderr, "hios-escape: unknown command %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runRecord(root string, args []string) int {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("o", filepath.Join(root, baselineName), "output path for the recorded baseline")
+	fs.Parse(args)
+	facts, err := escape.Collect(root, lint.ModulePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hios-escape:", err)
+		return 1
+	}
+	if err := escape.WriteFile(*out, facts); err != nil {
+		fmt.Fprintln(os.Stderr, "hios-escape:", err)
+		return 1
+	}
+	fmt.Printf("hios-escape: recorded %d functions to %s\n", len(facts), *out)
+	return 0
+}
+
+func runDiff(root string, args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	basePath := fs.String("baseline", filepath.Join(root, baselineName), "baseline facts to compare against")
+	out := fs.String("o", "", "also write the current facts to this path")
+	fs.Parse(args)
+	baseline, err := escape.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hios-escape:", err)
+		return 1
+	}
+	current, err := escape.Collect(root, lint.ModulePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hios-escape:", err)
+		return 1
+	}
+	if *out != "" {
+		if err := escape.WriteFile(*out, current); err != nil {
+			fmt.Fprintln(os.Stderr, "hios-escape:", err)
+			return 1
+		}
+	}
+	// Hotness comes from the current tree, so a function annotated (or
+	// newly reached from a root) in this change is enforced immediately.
+	pkgs, err := analysis.Load(root, []string{"./..."})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hios-escape:", err)
+		return 1
+	}
+	hot := lint.HotFunctions(pkgs)
+	report := escape.Diff(baseline, current, hot)
+	for _, d := range report.Drift {
+		fmt.Printf("hios-escape: drift: %s\n", d)
+	}
+	for _, r := range report.Regressions {
+		via := ""
+		if r.Root != r.Key {
+			via = " (hot via " + r.Root + ")"
+		}
+		fmt.Fprintf(os.Stderr, "hios-escape: REGRESSION: %s%s: %s\n", r.Key, via, r.Detail)
+	}
+	if n := len(report.Regressions); n > 0 {
+		fmt.Fprintf(os.Stderr, "hios-escape: %d hot-path regression(s); fix them or re-record the baseline deliberately\n", n)
+		return 1
+	}
+	if len(report.Drift) > 0 {
+		fmt.Printf("hios-escape: %d advisory drift line(s), no hot-path regressions\n", len(report.Drift))
+	} else {
+		fmt.Println("hios-escape: clean against baseline")
+	}
+	return 0
+}
+
+// moduleRoot finds the enclosing module's directory so the tool works
+// from any subdirectory.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", strings.TrimSuffix(dir, "/"))
+		}
+		dir = parent
+	}
+}

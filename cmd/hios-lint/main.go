@@ -47,8 +47,10 @@ func main() {
 		fmt.Println("[]")
 		return
 	}
+	only := flag.String("only", "", "comma-separated analyzers to run (mutually exclusive with -skip)")
+	skip := flag.String("skip", "", "comma-separated analyzers to leave out (mutually exclusive with -only)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: hios-lint [packages]\n       (as a vet tool) go vet -vettool=$(command -v hios-lint) [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hios-lint [-only list | -skip list] [packages]\n       (as a vet tool) go vet -vettool=$(command -v hios-lint) [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Suite() {
 			suppress := "not suppressable"
 			if d := lint.Directive(a.Name); d != "" {
@@ -66,6 +68,12 @@ func main() {
 		os.Exit(runVetUnit(args[0]))
 	}
 
+	suite, err := lint.Select(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hios-lint:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
@@ -74,7 +82,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	diags, fset, err := analysis.RunAnalyzers(pkgs, lint.Suite())
+	diags, fset, err := analysis.RunAnalyzers(pkgs, suite)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -180,10 +180,15 @@ func (c *Cache) Stats() Stats {
 // Reset drops every cached value and zeroes the counters. Results are
 // unaffected by when (or whether) this is called — only hit rates are.
 func (c *Cache) Reset() {
+	// Fresh maps are built before the lock so the critical section is
+	// three pointer swaps, not three allocations.
+	kernels := make(map[gpu.KernelSig]kernelEntry)
+	transfers := make(map[gpu.TransferSig]units.Millis)
+	stages := make(map[cost.StageSig]units.Millis)
 	c.mu.Lock()
-	c.kernels = make(map[gpu.KernelSig]kernelEntry)
-	c.transfers = make(map[gpu.TransferSig]units.Millis)
-	c.stages = make(map[cost.StageSig]units.Millis)
+	c.kernels = kernels
+	c.transfers = transfers
+	c.stages = stages
 	c.mu.Unlock()
 	c.kernelHits.Store(0)
 	c.kernelMisses.Store(0)

@@ -64,7 +64,7 @@ func (o *ServeSweepOptions) fill() {
 		o.Loads = []float64{0.25, 0.5, 0.7, 0.85, 1.0}
 	}
 	// Exact zero test: the zero value selects the default.
-	if o.Horizon == 0 { //lint:floatexact
+	if o.Horizon == 0 { //lint:floatexact zero is the unset-option sentinel, not a computed value
 		o.Horizon = units.Millis(1500)
 	}
 	if o.Ops <= 0 {

@@ -25,6 +25,12 @@ package graph
 // states. This is the one-shot form; HIOS-LP extracts one path per
 // mapping round over the same graph and holds a PathFinder so the
 // per-call scratch is reused.
+//
+// Root annotation: HIOS-LP holds a PathFinder and calls Find directly, so
+// no static in-module hot caller reaches this wrapper — it is hot through
+// external callers and benchmarks only.
+//
+//lint:hotpath
 func (g *Graph) LongestValidPath(unscheduled []bool) ([]OpID, float64) {
 	var pf PathFinder
 	return pf.Find(g, unscheduled)
@@ -50,8 +56,6 @@ type PathFinder struct {
 // The adjacency callbacks below are allocated once per call (not per
 // vertex): each captures the shared cursor cur instead of the sweep's
 // loop variable.
-//
-//lint:hotpath
 func (pf *PathFinder) Find(g *Graph, unscheduled []bool) ([]OpID, float64) {
 	n := len(g.ops)
 	if !g.finalized {

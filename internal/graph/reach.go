@@ -4,6 +4,10 @@ package graph
 // u to v. On a finalized graph this is one bit probe into the cached
 // transitive closure (built on first use, O(V·E/64)); see Closure.
 //
+// Root annotation: in-module hot code holds a Closure and probes it
+// directly, so this public entry is hot only through external callers and
+// benchmarks — propagation cannot reach it statically.
+//
 //lint:hotpath
 func (g *Graph) Reachable(u, v OpID) bool {
 	if u == v {
@@ -164,6 +168,10 @@ func (c *Contraction) Clone() *Contraction {
 // correct on multigraphs: in-degrees count edge multiplicity and every
 // traversal decrements symmetrically), which drops the historical
 // map-based dedupe entirely.
+//
+// Root annotation: the scheduler's window search validates stages through
+// its own incremental structures, so Acyclic has no static in-module hot
+// caller — it is a hot entry point for external users and benchmarks.
 //
 //lint:hotpath
 func (c *Contraction) Acyclic() bool {

@@ -72,11 +72,13 @@ func (g *Graph) PriorityIndicators() []float64 {
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
 		best := 0.0
-		g.Succs(v, func(to OpID, transfer float64) {
-			if l := transfer + p[to]; l > best {
+		// Direct adjacency iteration: the Succs callback form would
+		// allocate one closure per operator (it captures best and p).
+		for _, a := range g.succ[v] {
+			if l := g.edges[a.edge].Time + p[a.op]; l > best {
 				best = l
 			}
-		})
+		}
 		p[v] = g.ops[v].Time + best
 	}
 	return p

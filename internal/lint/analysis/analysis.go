@@ -27,6 +27,14 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// Module, when non-nil, runs once over every loaded package before
+	// the per-package Run calls and its result is handed to each Pass as
+	// ModuleData. It is how an analyzer sees across package boundaries
+	// (hotalloc's cross-package hotness propagation). Drivers that only
+	// see one package at a time — the vet-tool unit protocol, fixture
+	// tests — leave ModuleData nil, and the analyzer must degrade to its
+	// single-package behavior.
+	Module func([]*Package) any
 }
 
 // Pass carries one package's parsed and type-checked syntax to an
@@ -44,6 +52,9 @@ type Pass struct {
 	Info  *types.Info
 	// Report receives each diagnostic.
 	Report func(Diagnostic)
+	// ModuleData is the analyzer's Module result when the driver ran it
+	// (nil under single-package drivers).
+	ModuleData any
 
 	directives map[directiveKey]bool
 }

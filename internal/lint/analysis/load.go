@@ -150,20 +150,29 @@ func TypeCheck(fset *token.FileSet, imp types.Importer, path string, files []*as
 }
 
 // RunAnalyzers applies each analyzer to each package and returns the
-// combined, position-sorted diagnostics.
+// combined, position-sorted diagnostics. Analyzers with a Module hook
+// see every package at once first; the hook's result reaches each
+// per-package Pass through ModuleData.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	moduleData := make(map[*Analyzer]any)
+	for _, a := range analyzers {
+		if a.Module != nil {
+			moduleData[a] = a.Module(pkgs)
+		}
+	}
 	var all []Diagnostic
 	var fset *token.FileSet
 	for _, p := range pkgs {
 		fset = p.Fset
 		for _, a := range analyzers {
 			pass := &Pass{
-				Analyzer: a,
-				Path:     p.Path,
-				Fset:     p.Fset,
-				Files:    p.Files,
-				Pkg:      p.Pkg,
-				Info:     p.Info,
+				Analyzer:   a,
+				Path:       p.Path,
+				Fset:       p.Fset,
+				Files:      p.Files,
+				Pkg:        p.Pkg,
+				Info:       p.Info,
+				ModuleData: moduleData[a],
 			}
 			pass.Report = func(d Diagnostic) { all = append(all, d) }
 			if err := a.Run(pass); err != nil {

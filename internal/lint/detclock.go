@@ -8,18 +8,19 @@ import (
 
 // DetClock forbids wall-clock reads and global (unseeded) math/rand state
 // in the deterministic core: internal/sim, internal/sched/...,
-// internal/cost, internal/profile and internal/randdag. Those packages
-// define the reproducible half of the system — the same graph, cost model
-// and seed must yield byte-identical schedules and simulated timelines —
-// so time and randomness may only enter through injected values: an
-// explicit `*rand.Rand` built from a caller-supplied seed (randdag's
-// Config.Seed), or timestamps passed in by the measurement layer.
+// internal/cost, internal/profile, internal/randdag and internal/mpi.
+// Those packages define the reproducible half of the system — the same
+// graph, cost model and seed must yield byte-identical schedules and
+// simulated timelines — so time and randomness may only enter through
+// injected values: an explicit `*rand.Rand` built from a caller-supplied
+// seed (randdag's Config.Seed), an injected mpi.Clock, or timestamps
+// passed in by the measurement layer.
 //
-// time.Now and friends remain legal in internal/runtime and internal/mpi
-// (which measure real executions), in _test.go files, and everywhere
-// outside the core. There is deliberately no suppression directive: a
-// clock or global-RNG call in the core is a design error, not a style
-// choice — inject the dependency instead.
+// time.Now and friends remain legal in internal/runtime (which measures
+// real executions and injects the clock into mpi), in _test.go files,
+// and everywhere outside the core. There is deliberately no suppression
+// directive: a clock or global-RNG call in the core is a design error,
+// not a style choice — inject the dependency instead.
 var DetClock = &analysis.Analyzer{
 	Name: "detclock",
 	Doc:  "forbids wall-clock and global math/rand use in the deterministic core",
@@ -52,7 +53,7 @@ var detClockForbidden = map[string]map[string]bool{
 }
 
 func runDetClock(pass *analysis.Pass) error {
-	if !inScope(pass.Path, "internal/sim", "internal/sched", "internal/cost", "internal/profile", "internal/randdag", "internal/serve", "cmd") {
+	if !inScope(pass.Path, "internal/sim", "internal/sched", "internal/cost", "internal/profile", "internal/randdag", "internal/mpi", "internal/serve", "cmd") {
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -1,0 +1,72 @@
+package escape
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+)
+
+// DiagFlags is the -gcflags value that makes the compiler emit the
+// diagnostics Parse consumes: -m=2 for inlining and escape analysis,
+// ssa/check_bce for surviving bounds checks. The module pattern keeps the
+// flags off dependencies, so only module files show up in the output.
+func DiagFlags(modulePath string) string {
+	return modulePath + "/...=-m=2 -d=ssa/check_bce/debug=1"
+}
+
+// Collect builds the module under root with diagnostic flags and parses
+// the output into Facts. The build cache replays diagnostics, so a tree
+// already built with these flags costs one cache probe, not a recompile.
+func Collect(root, modulePath string) (Facts, error) {
+	idx, err := BuildIndex(root)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command("go", "build", "-gcflags="+DiagFlags(modulePath), "./...")
+	cmd.Dir = root
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build with diagnostic flags: %v\n%s", err, out.Bytes())
+	}
+	return Parse(out.String(), idx), nil
+}
+
+// File is the on-disk shape of a facts record (ESCAPE_baseline.json).
+type File struct {
+	// Comment explains the file to readers stumbling over it in the
+	// repository root.
+	Comment string `json:"comment"`
+	// Functions holds the recorded facts. encoding/json sorts map keys,
+	// so the marshaled form is deterministic.
+	Functions Facts `json:"functions"`
+}
+
+const fileComment = "Per-function compiler facts (escapes, inlinability, surviving bounds checks) " +
+	"recorded by cmd/hios-escape; refresh with `go run ./cmd/hios-escape record` after " +
+	"deliberate optimization changes."
+
+// WriteFile marshals facts deterministically to path.
+func WriteFile(path string, facts Facts) error {
+	data, err := json.MarshalIndent(File{Comment: fileComment, Functions: facts}, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a facts record written by WriteFile.
+func ReadFile(path string) (Facts, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return f.Functions, nil
+}

@@ -1,0 +1,156 @@
+package escape
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Index maps source positions to the function declarations enclosing
+// them, keyed the same way lint.FuncKey keys *types.Func — relative
+// package path, dot, bare receiver type name (if any), dot, function
+// name — so escape facts line up with hotalloc's hotness map without a
+// type-checked load. Closures have no key of their own: a position inside
+// one resolves to the enclosing declaration, which is where its
+// allocations cost.
+type Index struct {
+	files map[string][]funcRange // slash-relative file path -> sorted ranges
+}
+
+type funcRange struct {
+	start, end int // line numbers, inclusive
+	key        string
+}
+
+// BuildIndex parses every non-test .go file under root (skipping
+// testdata, hidden, and underscore directories — the compiler never
+// reports into those) and records each function declaration's line range.
+// Files at the module root itself get keys with no package prefix,
+// mirroring lint.FuncKey.
+func BuildIndex(root string) (*Index, error) {
+	idx := &Index{files: map[string][]funcRange{}}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// Function bodies are all the index needs; files with minor
+		// parse errors still yield the declarations that did parse.
+		f, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+		if f == nil {
+			return err
+		}
+		dir := "."
+		if i := strings.LastIndexByte(rel, '/'); i >= 0 {
+			dir = rel[:i]
+		}
+		var ranges []funcRange
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := funcDeclKey(dir, fd)
+			if key == "" {
+				continue
+			}
+			ranges = append(ranges, funcRange{
+				start: fset.Position(fd.Pos()).Line,
+				end:   fset.Position(fd.End()).Line,
+				key:   key,
+			})
+		}
+		sort.Slice(ranges, func(i, j int) bool { return ranges[i].start < ranges[j].start })
+		idx.files[rel] = ranges
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// funcDeclKey derives the lint.FuncKey form syntactically: the relative
+// package directory stands in for the relative import path, and the
+// receiver type name is read off the AST ("*PathFinder" -> "PathFinder",
+// generic "Closure[T]" -> "Closure").
+func funcDeclKey(dir string, fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		recv := recvTypeName(fd.Recv.List[0].Type)
+		if recv == "" {
+			return ""
+		}
+		name = recv + "." + name
+	}
+	if dir == "." {
+		return name
+	}
+	return dir + "." + name
+}
+
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// FuncAt resolves a diagnostic position to the enclosing function
+// declaration, returning its key and the line of its func keyword (inline
+// verdicts must land exactly there to count for the declaration).
+func (idx *Index) FuncAt(file string, line int) (key string, declLine int, ok bool) {
+	ranges := idx.files[file]
+	// Last range starting at or before line; declarations never nest.
+	lo, hi := 0, len(ranges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ranges[mid].start <= line {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return "", 0, false
+	}
+	r := ranges[lo-1]
+	if line > r.end {
+		return "", 0, false
+	}
+	return r.key, r.start, true
+}

@@ -1,0 +1,25 @@
+// Package demo is a parser fixture: the canned diagnostics in
+// escape_test.go reference these declarations by line number, so edits
+// here must keep the layout (or update the test's expectations).
+package demo
+
+type Buf struct {
+	data []int
+}
+
+func (b *Buf) Grow(n int) []int {
+	f := func(x int) int { return x + 1 }
+	out := make([]int, 0)
+	for i := 0; i < n; i++ {
+		out = append(out, f(i))
+	}
+	return out
+}
+
+func Sum(xs []int) int {
+	s := 0
+	for i := 0; i < len(xs); i++ {
+		s += xs[i]
+	}
+	return s
+}

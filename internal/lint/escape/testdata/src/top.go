@@ -1,0 +1,6 @@
+// Package mod sits at the walk root: its keys carry no package prefix.
+package mod
+
+func Top(n int) []byte {
+	return make([]byte, n)
+}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"github.com/shus-lab/hios/internal/lint/analysis"
 )
@@ -13,9 +14,15 @@ import (
 // `//lint:hotpath` comment (on the `func` line or the line above, e.g. as
 // the last line of its doc comment) becomes a call-graph root: the
 // analyzer propagates hotness through static calls to functions and
-// methods declared in the same package — cross-package hot callees carry
-// their own `//lint:hotpath` annotation, and propagation never crosses
-// the module boundary — and flags the allocation sources inside hot code:
+// methods declared anywhere in the module. Under a whole-module driver
+// (standalone hios-lint, cmd/hios-escape) the propagation crosses
+// package boundaries — graph.LongestValidPath is hot because
+// lp.Schedule calls it, with no annotation of its own — via the Module
+// hook (HotFunctions); under single-package drivers (the vet-tool unit
+// protocol, fixture tests) it degrades to same-package propagation, so
+// cross-package callees are only checked by the whole-module run.
+// Propagation never crosses the module boundary. Inside hot code it
+// flags the allocation sources:
 //
 //   - make / new in a loop (accepted inside a cap()-guarded grow branch,
 //     the scratch-buffer idiom of sched.growSlice);
@@ -35,9 +42,133 @@ import (
 // A deliberate allocation (setup work, amortized growth the analyzer
 // cannot see) is suppressed line by line with `//lint:hotalloc`.
 var HotAlloc = &analysis.Analyzer{
-	Name: "hotalloc",
-	Doc:  "flags allocation sources in code reachable from //lint:hotpath roots",
-	Run:  runHotAlloc,
+	Name:   "hotalloc",
+	Doc:    "flags allocation sources in code reachable from //lint:hotpath roots",
+	Run:    runHotAlloc,
+	Module: hotAllocModule,
+}
+
+// hotAllocModule adapts HotFunctions to the framework's Module hook.
+func hotAllocModule(pkgs []*analysis.Package) any {
+	return HotFunctions(pkgs)
+}
+
+// FuncKey returns the module-wide identity of a declared function or
+// method: the package path relative to the module root, the bare
+// receiver type name for methods, and the function name, joined with
+// dots — "internal/graph.Closure.Reachable",
+// "internal/sched/lp.Schedule"; root-package functions are just
+// "Recv.Name" or "Name". The empty string means fn has no such identity
+// (nil, or not a package-level function). cmd/hios-escape derives the
+// same keys syntactically, so the hot set computed here classifies the
+// compiler's per-function diagnostics too.
+func FuncKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	key := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return ""
+		}
+		key = named.Obj().Name() + "." + key
+	}
+	path := fn.Pkg().Path()
+	if path == ModulePath {
+		return key
+	}
+	rel, ok := strings.CutPrefix(path, ModulePath+"/")
+	if !ok {
+		return ""
+	}
+	return rel + "." + key
+}
+
+// HotFunctions computes the module-wide hot set: every function
+// reachable from a `//lint:hotpath` root through static calls between
+// functions declared in the given packages, keyed by FuncKey. The value
+// names the root (as a FuncKey) that first reached the function;
+// discovery is breadth-first in package/file/declaration order, so the
+// attribution is deterministic. Test files never contribute roots or
+// edges.
+func HotFunctions(pkgs []*analysis.Package) map[string]string {
+	declared := make(map[string]bool)
+	edges := make(map[string][]string)
+	hot := make(map[string]string)
+	var queue []string
+	for _, p := range pkgs {
+		if !inModule(p.Path) {
+			continue
+		}
+		// A minimal pass: only Suppressed (directive scan) and
+		// IsTestFile are used here, neither needs the Analyzer.
+		pass := &analysis.Pass{
+			Path:  p.Path,
+			Fset:  p.Fset,
+			Files: p.Files,
+			Pkg:   p.Pkg,
+			Info:  p.Info,
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+					continue
+				}
+				fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := FuncKey(fn)
+				if key == "" {
+					continue
+				}
+				declared[key] = true
+				if pass.Suppressed("hotpath", fd.Pos()) {
+					if _, seen := hot[key]; !seen {
+						hot[key] = key
+						queue = append(queue, key)
+					}
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := staticCallee(pass, call)
+					if callee == nil {
+						return true
+					}
+					ck := FuncKey(callee)
+					if ck == "" {
+						return true
+					}
+					edges[key] = append(edges[key], ck)
+					return true
+				})
+			}
+		}
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		root := hot[key]
+		for _, ck := range edges[key] {
+			if !declared[ck] {
+				continue
+			}
+			if _, seen := hot[ck]; !seen {
+				hot[ck] = root
+				queue = append(queue, ck)
+			}
+		}
+	}
+	return hot
 }
 
 // inModule reports whether pkg is a package of this module. hotalloc and
@@ -76,42 +207,57 @@ func runHotAlloc(pass *analysis.Pass) error {
 		}
 	}
 
-	// Roots, then breadth-first propagation through same-package static
-	// calls. A callee reached from several roots keeps the first (the
+	// Hot set. Under a whole-module driver the Module hook already
+	// propagated hotness across every package; this package's hot
+	// functions are the declared ones whose FuncKey landed in the set.
+	// Single-package drivers fall back to roots plus breadth-first
+	// propagation through same-package static calls. Either way, a
+	// function reached from several roots keeps the first (the
 	// attribution only affects the message).
 	hot := make(map[*types.Func]string)
-	var queue []*types.Func
-	for _, d := range decls {
-		if pass.IsTestFile(d.fd.Pos()) {
-			continue
+	if module, ok := pass.ModuleData.(map[string]string); ok {
+		for _, d := range decls {
+			if pass.IsTestFile(d.fd.Pos()) {
+				continue
+			}
+			if root, ok := module[FuncKey(d.fn)]; ok {
+				hot[d.fn] = root
+			}
 		}
-		if pass.Suppressed("hotpath", d.fd.Pos()) {
-			hot[d.fn] = d.fn.Name()
-			queue = append(queue, d.fn)
+	} else {
+		var queue []*types.Func
+		for _, d := range decls {
+			if pass.IsTestFile(d.fd.Pos()) {
+				continue
+			}
+			if pass.Suppressed("hotpath", d.fd.Pos()) {
+				hot[d.fn] = d.fn.Name()
+				queue = append(queue, d.fn)
+			}
 		}
-	}
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		root := hot[fn]
-		ast.Inspect(byFunc[fn].Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			root := hot[fn]
+			ast.Inspect(byFunc[fn].Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(pass, call)
+				if callee == nil || callee.Pkg() != pass.Pkg {
+					return true
+				}
+				if _, ok := byFunc[callee]; !ok {
+					return true
+				}
+				if _, seen := hot[callee]; !seen {
+					hot[callee] = root
+					queue = append(queue, callee)
+				}
 				return true
-			}
-			callee := staticCallee(pass, call)
-			if callee == nil || callee.Pkg() != pass.Pkg {
-				return true
-			}
-			if _, ok := byFunc[callee]; !ok {
-				return true
-			}
-			if _, seen := hot[callee]; !seen {
-				hot[callee] = root
-				queue = append(queue, callee)
-			}
-			return true
-		})
+			})
+		}
 	}
 
 	// Check every hot function, in declaration order.

@@ -17,6 +17,8 @@
 package lint
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 
 	"github.com/shus-lab/hios/internal/lint/analysis"
@@ -46,6 +48,7 @@ var registry = []registryEntry{
 	{SharedCapture, "sharedcapture"},
 	{HotAlloc, "hotalloc"},
 	{SeedFlow, "seedflow"},
+	{LockSafe, "locksafe"},
 }
 
 // Suite returns every analyzer, in reporting order.
@@ -66,6 +69,79 @@ func Directive(name string) string {
 		}
 	}
 	return ""
+}
+
+// Select returns the analyzers to run given the comma-separated -only
+// and -skip lists (at most one may be non-empty). Every listed name must
+// exist in the registry: a typo silently running the wrong subset is
+// exactly the failure mode a selection flag must not have, so unknown
+// names are errors naming the valid set. Registry order is preserved.
+func Select(only, skip string) ([]*analysis.Analyzer, error) {
+	if only != "" && skip != "" {
+		return nil, errors.New("-only and -skip are mutually exclusive")
+	}
+	parse := func(list string) (map[string]bool, error) {
+		names := map[string]bool{}
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !registered(name) {
+				return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, registryNames())
+			}
+			names[name] = true
+		}
+		return names, nil
+	}
+	var out []*analysis.Analyzer
+	switch {
+	case only != "":
+		names, err := parse(only)
+		if err != nil {
+			return nil, err
+		}
+		if len(names) == 0 {
+			return nil, errors.New("-only lists no analyzers")
+		}
+		for _, e := range registry {
+			if names[e.Analyzer.Name] {
+				out = append(out, e.Analyzer)
+			}
+		}
+	case skip != "":
+		names, err := parse(skip)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range registry {
+			if !names[e.Analyzer.Name] {
+				out = append(out, e.Analyzer)
+			}
+		}
+	default:
+		out = Suite()
+	}
+	return out, nil
+}
+
+// registered reports whether name is an analyzer in the registry.
+func registered(name string) bool {
+	for _, e := range registry {
+		if e.Analyzer.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// registryNames renders the valid analyzer names for error messages.
+func registryNames() string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.Analyzer.Name
+	}
+	return strings.Join(names, ", ")
 }
 
 // inScope reports whether pkg (an import path) is the module package

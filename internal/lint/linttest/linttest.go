@@ -8,12 +8,13 @@
 //
 // Fixture imports of standard-library packages are resolved through the
 // go toolchain's export data. Imports under this module's path are
-// replaced by empty placeholder packages — with two exceptions: the
-// internal/units and internal/parallel packages are type-checked from
-// their real source, because the unitflow and sharedcapture analyzers'
-// semantics depend on the actual defined types and worker signatures,
-// and fixtures must see them. Other module-internal fixtures (pubapi)
-// only need the import path to exist syntactically.
+// replaced by empty placeholder packages — with three exceptions: the
+// internal/units, internal/parallel and internal/gpu packages are
+// type-checked from their real source, because the unitflow,
+// sharedcapture and locksafe analyzers' semantics depend on the actual
+// defined types, worker signatures and cost-model method sets, and
+// fixtures must see them. Other module-internal fixtures (pubapi) only
+// need the import path to exist syntactically.
 package linttest
 
 import (
@@ -45,7 +46,63 @@ import (
 func Run(t *testing.T, a *analysis.Analyzer, dir, asPath string) {
 	t.Helper()
 	fset, files, got := Diagnostics(t, a, dir, asPath)
+	checkWants(t, fset, files, got)
+}
 
+// PackageSpec names one fixture directory and the import path it is
+// type-checked under for a whole-module run.
+type PackageSpec struct {
+	Dir    string
+	AsPath string
+}
+
+// RunModule applies a whole-module analyzer run — the Module hook first,
+// then the per-package passes with its result in ModuleData — to several
+// fixture packages checked in order, so later packages can import
+// earlier ones by their AsPath with real types. Diagnostics from every
+// package are matched against the combined want comments; this is how
+// cross-package behavior (hotalloc's hotness propagation) is fixtured.
+func RunModule(t *testing.T, a *analysis.Analyzer, specs []PackageSpec) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := moduleImporter{std: fixtureImporter{fset}, local: map[string]*types.Package{}}
+	var pkgs []*analysis.Package
+	var allFiles []*ast.File
+	for _, s := range specs {
+		files := parseDir(t, fset, s.Dir)
+		pkg, info, _ := analysis.TypeCheck(fset, imp, s.AsPath, files)
+		imp.local[s.AsPath] = pkg
+		pkgs = append(pkgs, &analysis.Package{
+			Path: s.AsPath, Dir: s.Dir, Fset: fset,
+			Files: files, Pkg: pkg, Info: info,
+		})
+		allFiles = append(allFiles, files...)
+	}
+	got, _, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: %s: %v", a.Name, err)
+	}
+	checkWants(t, fset, allFiles, got)
+}
+
+// moduleImporter resolves fixture packages checked earlier in a
+// RunModule sequence, falling back to the standard fixture importer.
+type moduleImporter struct {
+	std   fixtureImporter
+	local map[string]*types.Package
+}
+
+func (m moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.local[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// checkWants matches diagnostics against the files' want comments: every
+// diagnostic must be expected and every expectation must fire.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, got []analysis.Diagnostic) {
+	t.Helper()
 	wants := collectWants(t, fset, files)
 	for _, d := range got {
 		p := fset.Position(d.Pos)
@@ -79,6 +136,28 @@ func Run(t *testing.T, a *analysis.Analyzer, dir, asPath string) {
 func Diagnostics(t *testing.T, a *analysis.Analyzer, dir, asPath string) (*token.FileSet, []*ast.File, []analysis.Diagnostic) {
 	t.Helper()
 	fset := token.NewFileSet()
+	files := parseDir(t, fset, dir)
+	pkg, info, _ := analysis.TypeCheck(fset, fixtureImporter{fset}, asPath, files)
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer: a,
+		Path:     asPath,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		Report:   func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: %s: %v", a.Name, err)
+	}
+	analysis.SortDiagnostics(fset, got)
+	return fset, files, got
+}
+
+// parseDir parses every .go file of one fixture directory.
+func parseDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
+	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatalf("linttest: %v", err)
@@ -97,23 +176,7 @@ func Diagnostics(t *testing.T, a *analysis.Analyzer, dir, asPath string) (*token
 	if len(files) == 0 {
 		t.Fatalf("linttest: no fixtures in %s", dir)
 	}
-
-	pkg, info, _ := analysis.TypeCheck(fset, fixtureImporter{fset}, asPath, files)
-	var got []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer: a,
-		Path:     asPath,
-		Fset:     fset,
-		Files:    files,
-		Pkg:      pkg,
-		Info:     info,
-		Report:   func(d analysis.Diagnostic) { got = append(got, d) },
-	}
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("linttest: %s: %v", a.Name, err)
-	}
-	analysis.SortDiagnostics(fset, got)
-	return fset, files, got
+	return files
 }
 
 type posKey struct {
@@ -187,7 +250,7 @@ type fixtureImporter struct {
 }
 
 func (fi fixtureImporter) Import(path string) (*types.Package, error) {
-	if strings.HasSuffix(path, "/internal/units") || strings.HasSuffix(path, "/internal/parallel") {
+	if strings.HasSuffix(path, "/internal/units") || strings.HasSuffix(path, "/internal/parallel") || strings.HasSuffix(path, "/internal/gpu") {
 		return realPackage(path)
 	}
 	if f := stdExport(path); f != "" {
@@ -223,9 +286,14 @@ var (
 // its own FileSet — fixture tests never report positions inside it — and
 // cached for the test process.
 func realPackage(path string) (*types.Package, error) {
+	// The lock guards only the cache, not the type-check: checking one
+	// real package can import another (gpu imports units), which
+	// re-enters realPackage on the same goroutine. Racing tests may
+	// duplicate a check; last store wins harmlessly.
 	realMu.Lock()
-	defer realMu.Unlock()
-	if pkg, ok := realPkgs[path]; ok {
+	pkg, ok := realPkgs[path]
+	realMu.Unlock()
+	if ok {
 		return pkg, nil
 	}
 	root, err := moduleRoot()
@@ -254,11 +322,13 @@ func realPackage(path string) (*types.Package, error) {
 		files = append(files, f)
 	}
 	conf := types.Config{Importer: fixtureImporter{pfset}}
-	pkg, err := conf.Check(path, pfset, files, nil)
+	pkg, err = conf.Check(path, pfset, files, nil)
 	if err != nil {
 		return nil, err
 	}
+	realMu.Lock()
 	realPkgs[path] = pkg
+	realMu.Unlock()
 	return pkg, nil
 }
 

@@ -1,0 +1,16 @@
+// Package caller is the root half of the cross-package hotalloc
+// fixture: its annotated Root reaches into the dep package, whose
+// functions carry no annotation of their own.
+package caller
+
+import "github.com/shus-lab/hios/internal/fixture/hotallocmod/dep"
+
+// Root drives the dep package's helpers.
+//
+//lint:hotpath
+func Root(n int) {
+	for i := 0; i < n; i++ {
+		_ = dep.Helper(i)
+	}
+	dep.Helper2(n)
+}

@@ -1,0 +1,39 @@
+// Package dep is the callee half of the cross-package hotalloc fixture:
+// it carries NO //lint:hotpath annotation anywhere. Its functions become
+// hot only when the whole-module driver propagates hotness from the
+// caller package (testdata/hotallocmod/caller), so every want comment
+// here asserts cross-package propagation specifically.
+package dep
+
+// Helper is statically called by the caller package's annotated root and
+// must be checked as hot code under the module driver.
+func Helper(n int) []int {
+	out := make([]int, 0)
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `hot path \(via .*Root\): append grows out without preallocated capacity`
+	}
+	return out
+}
+
+// Chained is only reached through Helper2, two cross-package hops from
+// the root.
+func Chained(n int) {
+	for i := 0; i < n; i++ {
+		_ = make([]byte, i) // want `hot path \(via .*Root\): make inside a loop allocates`
+	}
+}
+
+// Helper2 is called by the root and calls Chained, proving propagation
+// continues through an already-propagated cross-package callee.
+func Helper2(n int) {
+	Chained(n)
+}
+
+// Cold is never reached from a hot root; its allocations are fine.
+func Cold(n int) []int {
+	out := make([]int, 0)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -9,7 +9,9 @@
 // send/receive (MPI_Send/MPI_Recv with CUDA device pointers in the
 // original) and a barrier. Sends are asynchronous (buffered); receives
 // block until the matching message has fully "arrived" under the link
-// model.
+// model. The package never reads wall-clock time itself — the detclock
+// invariant holds here too — so delay modeling requires the caller to
+// inject a Clock; without one, delivery is instant and deterministic.
 package mpi
 
 import (
@@ -22,10 +24,25 @@ import (
 // A nil DelayFunc means instant delivery.
 type DelayFunc func(bytes int) time.Duration
 
+// Clock supplies the wall-clock operations the link model runs on. The
+// package itself never reads time — delay modeling engages only when
+// the measurement layer injects real clock functions (internal/runtime
+// passes time.Now and time.Sleep, the one place wall-clock is legal).
+// A zero Clock gives a clockless communicator: messages deliver
+// instantly and any delayed send is rejected.
+type Clock struct {
+	Now   func() time.Time
+	Sleep func(time.Duration)
+}
+
+// set reports whether the clock can time transfers.
+func (c Clock) set() bool { return c.Now != nil && c.Sleep != nil }
+
 // Comm is a communicator over a fixed set of ranks.
 type Comm struct {
 	size  int
 	delay DelayFunc
+	clock Clock
 
 	mu    sync.Mutex
 	boxes map[boxKey]chan envelope
@@ -48,13 +65,21 @@ type envelope struct {
 	readyAt time.Time
 }
 
-// NewComm creates a communicator with the given number of ranks and link
-// delay model.
-func NewComm(size int, delay DelayFunc) (*Comm, error) {
+// NewComm creates a communicator with the given number of ranks, link
+// delay model and clock. A link model without a clock cannot apply its
+// delays, and a half-set clock can compute a deadline it cannot sleep
+// to, so both are rejected up front.
+func NewComm(size int, delay DelayFunc, clock Clock) (*Comm, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("mpi: communicator needs at least 1 rank, got %d", size)
 	}
-	c := &Comm{size: size, delay: delay, boxes: make(map[boxKey]chan envelope)}
+	if (clock.Now != nil) != (clock.Sleep != nil) {
+		return nil, fmt.Errorf("mpi: clock must set both Now and Sleep, or neither")
+	}
+	if delay != nil && !clock.set() {
+		return nil, fmt.Errorf("mpi: a link delay model needs a clock")
+	}
+	c := &Comm{size: size, delay: delay, clock: clock, boxes: make(map[boxKey]chan envelope)}
 	c.barrierCond = sync.NewCond(&c.barrierMu)
 	return c, nil
 }
@@ -114,6 +139,7 @@ func (r *Rank) Send(dst, tag int, data []float32) error {
 // SendDelayed is Send with an explicit transfer delay, overriding the
 // communicator's link model. The executor uses it to charge the cost
 // model's per-edge transfer time instead of a bytes-based estimate.
+// A positive delay requires the communicator to have a Clock.
 func (r *Rank) SendDelayed(dst, tag int, data []float32, delay time.Duration) error {
 	if dst < 0 || dst >= r.comm.size {
 		return fmt.Errorf("mpi: send to invalid rank %d", dst)
@@ -121,9 +147,15 @@ func (r *Rank) SendDelayed(dst, tag int, data []float32, delay time.Duration) er
 	if dst == r.id {
 		return fmt.Errorf("mpi: rank %d sending to itself", dst)
 	}
+	var readyAt time.Time
+	if delay > 0 {
+		if !r.comm.clock.set() {
+			return fmt.Errorf("mpi: delayed send needs a clock; construct the communicator with one")
+		}
+		readyAt = r.comm.clock.Now().Add(delay)
+	}
 	cp := make([]float32, len(data))
 	copy(cp, data)
-	readyAt := time.Now().Add(delay)
 	box := r.comm.box(boxKey{src: r.id, dst: dst, tag: tag})
 	select {
 	case box <- envelope{data: cp, readyAt: readyAt}:
@@ -148,8 +180,12 @@ func (r *Rank) Recv(src, tag int) ([]float32, error) {
 	}
 	box := r.comm.box(boxKey{src: src, dst: r.id, tag: tag})
 	env := <-box
-	if wait := time.Until(env.readyAt); wait > 0 {
-		time.Sleep(wait)
+	// readyAt is only ever set by a clocked send, so the clock is
+	// guaranteed present here.
+	if !env.readyAt.IsZero() {
+		if wait := env.readyAt.Sub(r.comm.clock.Now()); wait > 0 {
+			r.comm.clock.Sleep(wait)
+		}
 	}
 	r.comm.mu.Lock()
 	r.comm.received++

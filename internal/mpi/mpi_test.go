@@ -7,7 +7,7 @@ import (
 )
 
 func TestSendRecvRoundTrip(t *testing.T) {
-	c, err := NewComm(2, nil)
+	c, err := NewComm(2, nil, Clock{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestSendRecvRoundTrip(t *testing.T) {
 }
 
 func TestTagsIsolateMessages(t *testing.T) {
-	c, _ := NewComm(2, nil)
+	c, _ := NewComm(2, nil, Clock{})
 	r0, _ := c.Rank(0)
 	r1, _ := c.Rank(1)
 	if err := r0.Send(1, 1, []float32{1}); err != nil {
@@ -57,7 +57,7 @@ func TestTagsIsolateMessages(t *testing.T) {
 }
 
 func TestRecvBlocksUntilSend(t *testing.T) {
-	c, _ := NewComm(2, nil)
+	c, _ := NewComm(2, nil, Clock{})
 	r0, _ := c.Rank(0)
 	r1, _ := c.Rank(1)
 	done := make(chan []float32)
@@ -83,8 +83,12 @@ func TestRecvBlocksUntilSend(t *testing.T) {
 	}
 }
 
+// wallClock is the real clock the delay tests run on; production code
+// injects the same pair from internal/runtime.
+func wallClock() Clock { return Clock{Now: time.Now, Sleep: time.Sleep} }
+
 func TestDelayedDelivery(t *testing.T) {
-	c, _ := NewComm(2, nil)
+	c, _ := NewComm(2, nil, wallClock())
 	r0, _ := c.Rank(0)
 	r1, _ := c.Rank(1)
 	const delay = 30 * time.Millisecond
@@ -103,7 +107,7 @@ func TestDelayedDelivery(t *testing.T) {
 func TestLinkModelDelay(t *testing.T) {
 	c, _ := NewComm(2, func(bytes int) time.Duration {
 		return time.Duration(bytes) * time.Millisecond // 1 ms per byte
-	})
+	}, wallClock())
 	r0, _ := c.Rank(0)
 	r1, _ := c.Rank(1)
 	start := time.Now()
@@ -118,11 +122,35 @@ func TestLinkModelDelay(t *testing.T) {
 	}
 }
 
+// A communicator without a clock delivers instantly and refuses any
+// request that needs one: delayed sends, link models, half-set clocks.
+func TestClocklessSemantics(t *testing.T) {
+	if _, err := NewComm(2, nil, Clock{Now: time.Now}); err == nil {
+		t.Fatal("accepted a clock with Now but no Sleep")
+	}
+	if _, err := NewComm(2, func(int) time.Duration { return time.Second }, Clock{}); err == nil {
+		t.Fatal("accepted a link delay model without a clock")
+	}
+	c, _ := NewComm(2, nil, Clock{})
+	r0, _ := c.Rank(0)
+	r1, _ := c.Rank(1)
+	if err := r0.SendDelayed(1, 0, []float32{1}, time.Second); err == nil {
+		t.Fatal("accepted a delayed send without a clock")
+	}
+	// Zero-delay sends stay legal and deliver immediately.
+	if err := r0.SendDelayed(1, 0, []float32{7}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := r1.Recv(0, 0); err != nil || v[0] != 7 {
+		t.Fatalf("clockless delivery = %v (%v)", v, err)
+	}
+}
+
 func TestInvalidRanks(t *testing.T) {
-	if _, err := NewComm(0, nil); err == nil {
+	if _, err := NewComm(0, nil, Clock{}); err == nil {
 		t.Fatal("accepted empty communicator")
 	}
-	c, _ := NewComm(2, nil)
+	c, _ := NewComm(2, nil, Clock{})
 	if _, err := c.Rank(5); err == nil {
 		t.Fatal("accepted out-of-range rank")
 	}
@@ -140,7 +168,7 @@ func TestInvalidRanks(t *testing.T) {
 
 func TestBarrierSynchronizes(t *testing.T) {
 	const n = 4
-	c, _ := NewComm(n, nil)
+	c, _ := NewComm(n, nil, Clock{})
 	var phase [n]int32
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -173,7 +201,7 @@ func TestBarrierSynchronizes(t *testing.T) {
 func TestManyConcurrentMessages(t *testing.T) {
 	const ranks = 4
 	const msgs = 200
-	c, _ := NewComm(ranks, nil)
+	c, _ := NewComm(ranks, nil, Clock{})
 	var wg sync.WaitGroup
 	for src := 0; src < ranks; src++ {
 		for dst := 0; dst < ranks; dst++ {

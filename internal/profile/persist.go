@@ -50,7 +50,8 @@ func (t *CostTable) Export(model string) ([]byte, error) {
 		Model:   model,
 		Warmup:  t.warmup,
 		Repeats: t.repeats,
-		Ops:     make(map[graph.OpID]units.Millis, len(t.ops)),
+		//lint:locksafe snapshot clone: the copy must allocate while the read lock pins the table, and Export is a cold serialization path
+		Ops: make(map[graph.OpID]units.Millis, len(t.ops)),
 	}
 	for k, v := range t.ops {
 		snap.Ops[k] = v

@@ -127,7 +127,9 @@ func Run(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (*Report,
 	}
 	n := g.NumOps()
 
-	comm, err := mpi.NewComm(len(s.GPUs), nil)
+	// The executor is the measurement layer: wall-clock is legal here,
+	// and injecting it keeps mpi itself inside the detclock invariant.
+	comm, err := mpi.NewComm(len(s.GPUs), nil, mpi.Clock{Now: time.Now, Sleep: time.Sleep})
 	if err != nil {
 		return nil, err
 	}

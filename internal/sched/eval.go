@@ -113,8 +113,6 @@ type Evaluator struct {
 
 // Latency computes the makespan of a complete schedule, reusing the
 // evaluator's scratch buffers.
-//
-//lint:hotpath
 func (e *Evaluator) Latency(g *graph.Graph, m cost.Model, s *Schedule) (units.Millis, error) {
 	if err := e.validate(g, s, false); err != nil {
 		return 0, err
@@ -124,6 +122,10 @@ func (e *Evaluator) Latency(g *graph.Graph, m cost.Model, s *Schedule) (units.Mi
 
 // LatencyPartial computes the makespan of a partial schedule, reusing the
 // evaluator's scratch buffers.
+//
+// Root annotation: the window search moved to IncrementalEvaluator, so the
+// only static in-module caller left is the cold convenience wrapper —
+// partial evaluation stays hot for external callers and benchmarks.
 //
 //lint:hotpath
 func (e *Evaluator) LatencyPartial(g *graph.Graph, m cost.Model, s *Schedule) (units.Millis, error) {
@@ -142,8 +144,6 @@ func (e *Evaluator) LatencyPartial(g *graph.Graph, m cost.Model, s *Schedule) (u
 // structurally valid by construction, so no validate pass runs. Stage
 // ids, durations and dependency order match compute() on the
 // materialized schedule exactly, keeping the two paths bit-identical.
-//
-//lint:hotpath
 func (e *Evaluator) LatencyFromPlacement(g *graph.Graph, m cost.Model, nGPUs int, order []graph.OpID, place []int) (units.Millis, error) {
 	n := g.NumOps()
 	ns := 0

@@ -508,8 +508,6 @@ func (ie *IncrementalEvaluator) cleanMax(editGPU, deadLo, deadHi int) units.Mill
 // is invalid (a direct dependency inside the merged stage, or a cycle
 // through the contracted stage graph) — the same candidates, under the
 // same error precedence, the full evaluator rejects.
-//
-//lint:hotpath
 func (ie *IncrementalEvaluator) TrialFuse(gi, si, p int, members []graph.OpID, bound units.Millis) (units.Millis, bool, error) {
 	e := &ie.ev
 	lo := ie.gpuLo[gi] + si
@@ -673,8 +671,6 @@ func (ie *IncrementalEvaluator) TrialFuse(gi, si, p int, members []graph.OpID, b
 // max), finishes come from the trial, and only e.start and the
 // operator maps go stale — neither is read before the next full
 // evaluation.
-//
-//lint:hotpath
 func (ie *IncrementalEvaluator) CommitFuse(gi, si, p int, members []graph.OpID) (units.Millis, error) {
 	lat := ie.lastLat
 	if !(ie.lastValid && ie.lastGi == gi && ie.lastSi == si && ie.lastP == p) {
@@ -865,8 +861,6 @@ func (ie *IncrementalEvaluator) applyFuse(gi, si, p int) error {
 // sequential or data, points forward in the priority order — so unlike
 // TrialFuse there is no error case, and the priority position replaces
 // the recorded topological order as the propagation key.
-//
-//lint:hotpath
 func (ie *IncrementalEvaluator) TrialInsert(gi int, ops []graph.OpID, bound units.Millis) (units.Millis, bool) {
 	return ie.insertCore(gi, ops, bound)
 }
@@ -1043,8 +1037,6 @@ func (ie *IncrementalEvaluator) insertCore(gi int, ops []graph.OpID, bound units
 // stage x: its baseline dependency list with the sequential edge
 // substituted when an inserted run now precedes it, plus the trial's
 // extra dependencies from inserted operators.
-//
-//lint:hotpath
 func (ie *IncrementalEvaluator) recomputeExisting(x int) units.Millis {
 	e := &ie.ev
 	st := units.Millis(0)
@@ -1081,8 +1073,6 @@ func (ie *IncrementalEvaluator) recomputeExisting(x int) units.Millis {
 // operator's data dependencies — inserted inputs read from insFinish,
 // existing inputs straight from e.finish (stamped ones have already
 // published their trial value there).
-//
-//lint:hotpath
 func (ie *IncrementalEvaluator) recomputeInserted(j, gi int, ops []graph.OpID) units.Millis {
 	e := &ie.ev
 	g, m := ie.g, ie.m
@@ -1129,8 +1119,6 @@ func (ie *IncrementalEvaluator) recomputeInserted(j, gi int, ops []graph.OpID) u
 // full evaluation would make, every dependency row still leads with its
 // sequential edge, and dependency-entry order beyond that never
 // influences a max.
-//
-//lint:hotpath
 func (ie *IncrementalEvaluator) CommitInsert(gi int, ops []graph.OpID) units.Millis {
 	lat, _ := ie.insertCore(gi, ops, Unbounded)
 	ie.applyInsert(gi, ops)

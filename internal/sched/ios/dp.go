@@ -76,7 +76,7 @@ func (b *bucketSorter) Less(i, j int) bool {
 	a, z := &b.states[b.bucket[i]], &b.states[b.bucket[j]]
 	// Exact IEEE inequality keeps this tie-break a strict weak order; an
 	// epsilon compare would not.
-	if a.cost != z.cost { //lint:floatexact
+	if a.cost != z.cost { //lint:floatexact comparator tie-break: epsilon would break the strict weak order
 		return a.cost < z.cost
 	}
 	return less(a.set, z.set)

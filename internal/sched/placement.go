@@ -14,8 +14,6 @@ import "github.com/shus-lab/hios/internal/graph"
 // Ops slice from bleeding into a neighbour's storage (cf. CompactClone).
 // The former one-Append-per-operator construction allocated twice per
 // operator and dominated the HIOS-LP allocation profile.
-//
-//lint:hotpath
 func FromPlacement(nGPUs int, order []graph.OpID, place []int) *Schedule {
 	s := New(nGPUs)
 	cnt := make([]int, nGPUs)

@@ -116,8 +116,6 @@ func (s *Schedule) Clone() *Schedule {
 // this package, a committed stage's Ops are never mutated in place.
 // Algorithm 2 clones its input once per Parallelize call, which makes
 // this the fixed entry cost of every window pass.
-//
-//lint:hotpath
 func (s *Schedule) CompactClone() *Schedule {
 	nops, nstages := 0, 0
 	for gi := range s.GPUs {

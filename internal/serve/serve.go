@@ -195,7 +195,7 @@ func (o *Options) fill() {
 		o.Policy = FIFO
 	}
 	// Exact zero test: the zero value selects the default.
-	if o.Horizon == 0 { //lint:floatexact
+	if o.Horizon == 0 { //lint:floatexact zero is the unset-option sentinel, not a computed value
 		o.Horizon = units.Millis(1000)
 	}
 	if o.Seed == 0 {
@@ -306,7 +306,7 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	// Exact IEEE inequality keeps the order strict-weak; ties fall
 	// through to the deterministic sequence number (cf. sim.eventHeap).
-	if h[i].at != h[j].at { //lint:floatexact
+	if h[i].at != h[j].at { //lint:floatexact comparator tie-break: epsilon would break the strict weak order
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
@@ -429,7 +429,7 @@ func (q *reqQueue) Less(i, j int) bool {
 	if q.byDeadline {
 		// Exact IEEE inequality; equal deadlines fall through to the
 		// deterministic enqueue order.
-		if a.deadline != b.deadline { //lint:floatexact
+		if a.deadline != b.deadline { //lint:floatexact comparator tie-break: epsilon would break the strict weak order
 			return a.deadline < b.deadline
 		}
 	}
@@ -577,7 +577,7 @@ func (e *engine) recordDepth(now units.Millis) {
 			return
 		}
 		// Exact IEEE equality: same event timestamp, not a tolerance.
-		if e.points[n-1].T == now { //lint:floatexact
+		if e.points[n-1].T == now { //lint:floatexact same-event timestamp dedupe: both values are copies of one event time
 			e.points[n-1].Depth = e.depth
 			return
 		}

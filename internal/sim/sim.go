@@ -63,7 +63,7 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	// Exact IEEE inequality keeps the heap order strict-weak; ties fall
 	// through to the deterministic sequence number.
-	if h[i].at != h[j].at { //lint:floatexact
+	if h[i].at != h[j].at { //lint:floatexact comparator tie-break: epsilon would break the strict weak order
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
@@ -324,7 +324,7 @@ func RunOpts(g *graph.Graph, m cost.Model, s *sched.Schedule, opt Options) (*Tra
 	}
 	sort.Slice(tr.Stages, func(i, j int) bool {
 		// Exact IEEE inequality: see eventHeap.Less.
-		if tr.Stages[i].Start != tr.Stages[j].Start { //lint:floatexact
+		if tr.Stages[i].Start != tr.Stages[j].Start { //lint:floatexact comparator tie-break: epsilon would break the strict weak order
 			return tr.Stages[i].Start < tr.Stages[j].Start
 		}
 		if tr.Stages[i].GPU != tr.Stages[j].GPU {
