@@ -38,7 +38,7 @@ func main() {
 		commRatio = flag.Float64("p", 0.8, "random model: transfer/compute time ratio")
 
 		replicas    = flag.Int("replicas", 1, "identical pipeline replicas of the deployment")
-		policy      = flag.String("policy", "edf", "dispatch policy: fifo, edf or edf-shed")
+		policy      = flag.String("policy", "edf", "dispatch policy: "+hios.ServePolicyUsage())
 		horizon     = flag.Float64("horizon", 0, "arrival horizon in ms (0 = default)")
 		arrivalSeed = flag.Int64("arrival-seed", 1, "seed of the arrival processes")
 		load        = flag.Float64("load", 0.7, "default tenants: offered load as a fraction of deployment capacity (ignored when -tenant is given)")
@@ -55,8 +55,9 @@ func main() {
 		asJSON = flag.Bool("json", false, "emit JSON instead of text")
 	)
 	var tenants []hios.ServeTenant
+	tenantSpec := hios.TenantSpec()
 	flag.Func("tenant", `repeatable tenant spec, e.g. "name=web,deadline=20,rate=300" (open-loop) or "name=batch,deadline=200,clients=4,think=5" (closed-loop); deadline/think in ms, rate in req/s`, func(s string) error {
-		t, err := parseTenant(s)
+		t, err := tenantSpec.Parse(s)
 		if err != nil {
 			return err
 		}
@@ -195,42 +196,6 @@ func defaultTenants(dep hios.ServeModel, load float64) []hios.ServeTenant {
 		{Name: "interactive", Deadline: dep.Latency.Scale(4), Rate: 0.6 * rate},
 		{Name: "batch", Deadline: dep.Latency.Scale(12), Rate: 0.4 * rate},
 	}
-}
-
-// parseTenant parses a comma-separated key=value tenant spec.
-func parseTenant(s string) (hios.ServeTenant, error) {
-	var t hios.ServeTenant
-	for _, part := range strings.Split(s, ",") {
-		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok {
-			return t, fmt.Errorf("bad tenant field %q (want key=value)", part)
-		}
-		var err error
-		switch key {
-		case "name":
-			t.Name = val
-		case "model":
-			t.Model, err = strconv.Atoi(val)
-		case "deadline":
-			var f float64
-			f, err = strconv.ParseFloat(val, 64)
-			t.Deadline = hios.Millis(f)
-		case "rate":
-			t.Rate, err = strconv.ParseFloat(val, 64)
-		case "clients":
-			t.Clients, err = strconv.Atoi(val)
-		case "think":
-			var f float64
-			f, err = strconv.ParseFloat(val, 64)
-			t.Think = hios.Millis(f)
-		default:
-			return t, fmt.Errorf("unknown tenant field %q (want name, model, deadline, rate, clients or think)", key)
-		}
-		if err != nil {
-			return t, fmt.Errorf("bad tenant field %q: %v", part, err)
-		}
-	}
-	return t, nil
 }
 
 func parseLoads(s string) ([]float64, error) {

@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/shus-lab/hios/internal/serve"
+	"github.com/shus-lab/hios/internal/stats"
+	"github.com/shus-lab/hios/internal/units"
+)
+
+// Request lifecycle states.
+const (
+	stQueued = iota
+	stRunning
+	stDone
+	stShedGateway  // dropped at admission (token bucket or queue depth)
+	stShedHopeless // dropped at dispatch (provable deadline miss)
+)
+
+// request is one in-flight inference request.
+type request struct {
+	tenant   int
+	index    int // per-tenant issue order
+	client   int // closed-loop client index, -1 for open-loop
+	node     int // routed node, -1 until admitted
+	arrive   units.Millis
+	deadline units.Millis // absolute: arrive + tenant deadline
+	finish   units.Millis
+	qseq     int // global enqueue order, the FIFO key and EDF tie-break
+	state    int
+}
+
+// Event kinds; simultaneous events execute in push order via the heap's
+// internal sequence number.
+const (
+	evArrive = iota // a request reaches the gateway
+	evFree          // a replica admits its next request
+	evDone          // a request completes
+	evTick          // the autoscaler evaluates every pool
+)
+
+// cev is the cluster event payload; the (time, sequence) total-order key
+// lives in serve.EventHeap, shared with the single-node engine.
+type cev struct {
+	kind    int
+	req     int // evArrive, evDone
+	node    int // evFree
+	dep     int // evFree
+	replica int // evFree
+}
+
+// pool is one (node, deployment) replica set: the unit the router
+// targets and the autoscaler scales.
+type pool struct {
+	prof   Profile
+	queue  serve.RequestQueue
+	idle   serve.ReplicaHeap
+	live   int // current replica count
+	target int // autoscaler's desired count (live catches up lazily)
+	next   int // next fresh replica index for scale-up
+	peak   int
+
+	starts int // requests admitted by this pool
+
+	// Replica-time integration for cost accounting: replicaMs
+	// accumulates live replica-milliseconds up to lastChange.
+	replicaMs  units.Millis
+	lastChange units.Millis
+
+	// Outstanding-depth integration for the autoscaler signal: outInt
+	// accumulates outstanding-request-milliseconds up to lastTouch, so a
+	// tick can read the exact time-weighted average depth since the
+	// previous tick instead of a noisy instantaneous sample.
+	outInt    units.Millis
+	lastTouch units.Millis
+	lastOut   units.Millis // outInt at the previous tick
+
+	// Autoscaler sliding windows (nil while the autoscaler is off).
+	depthWin      []float64
+	doneWin       []int
+	metWin        []int
+	winIdx        int
+	winFill       int
+	done          int // cumulative completions
+	met           int // cumulative in-deadline completions
+	lastDone      int
+	lastMet       int
+	cooldownUntil units.Millis
+}
+
+// outstanding returns queued plus in-service requests: the router's load
+// signal and the autoscaler's concurrency signal.
+func (p *pool) outstanding() int { return p.queue.Len() + p.live - p.idle.Len() }
+
+// touch integrates the outstanding depth up to now. Called before every
+// mutation that changes the depth; zero-elapsed calls are no-ops.
+func (p *pool) touch(now units.Millis) {
+	p.outInt += (now - p.lastTouch).Scale(float64(p.outstanding()))
+	p.lastTouch = now
+}
+
+// setLive moves the live replica count to n at time now, integrating
+// replica-time for cost accounting.
+func (p *pool) setLive(n int, now units.Millis) {
+	p.replicaMs += (now - p.lastChange).Scale(float64(p.live))
+	p.lastChange = now
+	p.live = n
+	if n > p.peak {
+		p.peak = n
+	}
+}
+
+// node is one machine of the fleet: a platform preset plus one replica
+// pool per deployment.
+type node struct {
+	preset Preset
+	pools  []pool
+}
+
+// engine is the running cluster simulation state.
+type engine struct {
+	o      Options
+	nodes  []node
+	reqs   []request
+	issued []int // per-tenant issue counter
+	events serve.EventHeap[cev]
+	qseq   int // enqueue sequence counter
+	depth  int // cluster-wide queued requests (gateway shedding signal)
+	popped int64
+	points []serve.QueuePoint
+	scales []ScaleEvent
+	rngs   []*rand.Rand // per-tenant arrival streams
+	rng    *rand.Rand   // router stream (random policy)
+	aff    []int        // per-tenant affinity node
+
+	// Token bucket (enabled when o.Admission.RatePerSec > 0).
+	tokens     float64
+	lastRefill units.Millis
+}
+
+// newRequest creates a request arriving at the given time and schedules
+// its arrival event.
+func (e *engine) newRequest(tenant, client int, at units.Millis) {
+	t := &e.o.Tenants[tenant]
+	ri := len(e.reqs)
+	e.reqs = append(e.reqs, request{
+		tenant:   tenant,
+		index:    e.issued[tenant],
+		client:   client,
+		node:     -1,
+		arrive:   at,
+		deadline: at + t.Deadline,
+		state:    stQueued,
+	})
+	e.issued[tenant]++
+	e.events.Push(at, cev{kind: evArrive, req: ri})
+}
+
+// expMillis draws an exponential duration with the given mean.
+func expMillis(rng *rand.Rand, mean units.Millis) units.Millis {
+	return mean.Scale(rng.ExpFloat64())
+}
+
+// reissue puts a closed-loop client back into think state after its
+// request finished (completed or shed) at the given time.
+func (e *engine) reissue(tenant, client int, now units.Millis) {
+	if client < 0 {
+		return
+	}
+	t := &e.o.Tenants[tenant]
+	next := now + expMillis(e.rngs[tenant], t.Think)
+	if next < e.o.Horizon {
+		e.newRequest(tenant, client, next)
+	}
+}
+
+// admit runs gateway admission control for a request arriving at now.
+// It returns false after shedding the request when the token bucket is
+// empty or the cluster-wide queue is at its depth limit.
+func (e *engine) admit(ri int, now units.Millis) bool {
+	a := &e.o.Admission
+	if a.RatePerSec > 0 {
+		e.tokens += (now - e.lastRefill).Ratio(units.Millis(1e3)) * a.RatePerSec
+		if max := float64(a.Burst); e.tokens > max {
+			e.tokens = max
+		}
+		e.lastRefill = now
+		if e.tokens < 1 {
+			e.shed(ri, stShedGateway, now)
+			return false
+		}
+		e.tokens--
+	}
+	if a.MaxQueue > 0 && e.depth >= a.MaxQueue {
+		e.shed(ri, stShedGateway, now)
+		return false
+	}
+	return true
+}
+
+// shed drops request ri at time now in the given shed state.
+func (e *engine) shed(ri, state int, now units.Millis) {
+	r := &e.reqs[ri]
+	r.state = state
+	r.finish = now
+	e.reissue(r.tenant, r.client, now)
+}
+
+// dispatch matches idle replicas of pool (ni, di) with its queued
+// requests at time now, shedding hopeless requests first when the
+// gateway is configured to. This is the per-event inner loop of the
+// cluster simulator — the router feeds it and the free/scale events
+// re-enter it — and the package's hot-path root.
+//
+//lint:hotpath
+func (e *engine) dispatch(ni, di int, now units.Millis) {
+	p := &e.nodes[ni].pools[di]
+	p.touch(now)
+	for p.idle.Len() > 0 && p.queue.Len() > 0 {
+		ri := p.queue.Pop()
+		r := &e.reqs[ri]
+		e.depth--
+		if e.o.Admission.ShedHopeless && now+p.prof.Latency > r.deadline {
+			// Provably hopeless: even starting this instant misses the
+			// deadline. Shed without consuming the replica.
+			r.state = stShedHopeless
+			r.finish = now
+			e.reissue(r.tenant, r.client, now)
+			continue
+		}
+		rep := p.idle.Pop()
+		r.state = stRunning
+		p.starts++
+		e.events.Push(now+p.prof.Latency, cev{kind: evDone, req: ri})
+		e.events.Push(now+p.prof.Period, cev{kind: evFree, node: ni, dep: di, replica: rep})
+	}
+}
+
+// recordDepth appends a queue-depth change point at time now, coalescing
+// multiple changes at the same instant into the final value.
+func (e *engine) recordDepth(now units.Millis) {
+	if n := len(e.points); n > 0 {
+		if e.points[n-1].Depth == e.depth {
+			return
+		}
+		// Exact IEEE equality: same event timestamp, not a tolerance.
+		if e.points[n-1].T == now { //lint:floatexact same-event timestamp dedupe: both values are copies of one event time
+			e.points[n-1].Depth = e.depth
+			return
+		}
+	} else if e.depth == 0 {
+		return
+	}
+	e.points = append(e.points, serve.QueuePoint{T: now, Depth: e.depth})
+}
+
+// Run simulates the cluster described by opt and returns its report.
+// The same Options always produce the same Report.
+func Run(opt Options) (*Report, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	opt.fill()
+
+	e := &engine{
+		o:      opt,
+		issued: make([]int, len(opt.Tenants)),
+		rngs:   make([]*rand.Rand, len(opt.Tenants)),
+		tokens: float64(opt.Admission.Burst),
+	}
+	// Flatten the fleet: node groups expand to individual nodes in
+	// declaration order, each holding one pool per deployment.
+	for _, ns := range opt.Fleet.Nodes {
+		preset, _ := PresetByKey(ns.Platform)
+		for c := 0; c < ns.Count; c++ {
+			nd := node{preset: preset, pools: make([]pool, len(opt.Deployments))}
+			for di, d := range opt.Deployments {
+				prof, _ := d.profile(ns.Platform)
+				p := &nd.pools[di]
+				p.prof = prof
+				p.queue = serve.RequestQueue{ByDeadline: true}
+				reps := ns.Replicas
+				if a := &opt.Autoscaler; a.Enabled {
+					if reps < a.MinReplicas {
+						reps = a.MinReplicas
+					}
+					if reps > a.MaxReplicas {
+						reps = a.MaxReplicas
+					}
+					p.depthWin = make([]float64, a.Window)
+					p.doneWin = make([]int, a.Window)
+					p.metWin = make([]int, a.Window)
+				}
+				for rp := 0; rp < reps; rp++ {
+					p.idle.Push(rp)
+				}
+				p.live, p.target, p.next, p.peak = reps, reps, reps, reps
+			}
+			e.nodes = append(e.nodes, nd)
+		}
+	}
+
+	// Seed streams: one per tenant for arrivals, then the router stream,
+	// then one affinity draw per tenant — all splitmix64-separated from
+	// Options.Seed so adding tenants never perturbs earlier streams.
+	nt := len(opt.Tenants)
+	for ti, t := range opt.Tenants {
+		e.rngs[ti] = rand.New(rand.NewSource(stats.MixSeed(opt.Seed, ti)))
+		if t.Rate > 0 {
+			// Open-loop: pre-draw the whole Poisson arrival sequence.
+			mean := units.Millis(1e3 / t.Rate)
+			at := expMillis(e.rngs[ti], mean)
+			for at < opt.Horizon {
+				e.newRequest(ti, -1, at)
+				at += expMillis(e.rngs[ti], mean)
+			}
+		} else {
+			// Closed-loop: every client starts in think state.
+			for c := 0; c < t.Clients; c++ {
+				at := expMillis(e.rngs[ti], t.Think)
+				if at < opt.Horizon {
+					e.newRequest(ti, c, at)
+				}
+			}
+		}
+	}
+	e.rng = rand.New(rand.NewSource(stats.MixSeed(opt.Seed, nt)))
+	e.aff = make([]int, nt)
+	for ti := range e.aff {
+		h := stats.MixSeed(opt.Seed, nt+1+ti)
+		e.aff[ti] = int((uint64(h) >> 1) % uint64(len(e.nodes)))
+	}
+	if opt.Autoscaler.Enabled {
+		e.events.Push(opt.Autoscaler.Interval, cev{kind: evTick})
+	}
+
+	var makespan units.Millis
+	for e.events.Len() > 0 {
+		now, ev := e.events.Pop()
+		e.popped++
+		if now > makespan {
+			makespan = now
+		}
+		switch ev.kind {
+		case evArrive:
+			if !e.admit(ev.req, now) {
+				break
+			}
+			r := &e.reqs[ev.req]
+			r.qseq = e.qseq
+			e.qseq++
+			di := e.o.Tenants[r.tenant].Model
+			ni := e.route(r.tenant, di)
+			r.node = ni
+			p := &e.nodes[ni].pools[di]
+			p.touch(now)
+			p.queue.Push(r.deadline, r.qseq, ev.req)
+			e.depth++
+			e.dispatch(ni, di, now)
+		case evFree:
+			p := &e.nodes[ev.node].pools[ev.dep]
+			p.touch(now)
+			if p.live > p.target {
+				// A scale-down is pending: retire this replica instead of
+				// returning it to the idle set.
+				p.setLive(p.live-1, now)
+				break
+			}
+			p.idle.Push(ev.replica)
+			e.dispatch(ev.node, ev.dep, now)
+		case evDone:
+			r := &e.reqs[ev.req]
+			r.state = stDone
+			r.finish = now
+			p := &e.nodes[r.node].pools[e.o.Tenants[r.tenant].Model]
+			p.done++
+			if r.finish <= r.deadline {
+				p.met++
+			}
+			e.reissue(r.tenant, r.client, now)
+		case evTick:
+			e.tick(now)
+		}
+		e.recordDepth(now)
+	}
+	for i := range e.reqs {
+		if st := e.reqs[i].state; st == stQueued || st == stRunning {
+			return nil, fmt.Errorf("cluster: internal error: request %d ended in state %d", i, st)
+		}
+	}
+	return e.report(makespan), nil
+}

@@ -10,7 +10,8 @@ import (
 
 // LockSafe enforces the lock discipline of the mutex-bearing packages
 // (internal/costcache, internal/profile, internal/parallel,
-// internal/runtime, internal/serve): critical sections stay short,
+// internal/runtime, internal/serve, internal/cluster): critical
+// sections stay short,
 // allocation-free and balanced. Concretely it flags
 //
 //   - allocation under a held sync.Mutex/RWMutex — make, new, slice and
@@ -49,7 +50,7 @@ var LockSafe = &analysis.Analyzer{
 }
 
 func runLockSafe(pass *analysis.Pass) error {
-	if !inScope(pass.Path, "internal/costcache", "internal/profile", "internal/parallel", "internal/runtime", "internal/serve") {
+	if !inScope(pass.Path, "internal/costcache", "internal/profile", "internal/parallel", "internal/runtime", "internal/serve", "internal/cluster") {
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -45,7 +45,8 @@ var unitflowScope = []string{
 	"internal/gpu", "internal/cost", "internal/costcache", "internal/profile",
 	"internal/model", "internal/sched", "internal/sim", "internal/pipeline",
 	"internal/trace", "internal/memory", "internal/runtime",
-	"internal/experiments", "internal/serve", "cmd",
+	"internal/experiments", "internal/serve", "internal/cluster",
+	"internal/specflag", "cmd",
 }
 
 const unitsPkgPath = ModulePath + "/internal/units"

@@ -1,0 +1,228 @@
+package serve
+
+// The deterministic event-loop building blocks of the online simulators.
+// serve's single-node engine and cluster's fleet engine both run on
+// exactly these three structures, so the (time, sequence) total order —
+// the heart of the byte-identical-replay contract (DESIGN.md §7, §9) —
+// is implemented once. None of them satisfies container/heap: the
+// interface would box one element per operation in the dispatch loop
+// (the PR-6 burn-down measured 7523 -> 98 allocs/op on BenchmarkServeEDF
+// from exactly this change), so each is a typed binary heap with the
+// sift loops written out.
+
+import "github.com/shus-lab/hios/internal/units"
+
+// timed pairs an event payload with its total-order key.
+type timed[E any] struct {
+	at      units.Millis
+	seq     int
+	payload E
+}
+
+// EventHeap is a deterministic discrete-event queue: a typed binary
+// min-heap ordered by (time, push sequence). The sequence number is
+// assigned internally at Push, so simultaneous events pop in push order
+// and the pop sequence is a pure function of the push sequence — no
+// caller can accidentally break the total order.
+type EventHeap[E any] struct {
+	items []timed[E]
+	seq   int
+}
+
+// Len returns the number of queued events.
+func (h *EventHeap[E]) Len() int { return len(h.items) }
+
+// Push queues payload at time at, after every event already queued for
+// the same instant.
+func (h *EventHeap[E]) Push(at units.Millis, payload E) {
+	h.items = append(h.items, timed[E]{at: at, seq: h.seq, payload: payload})
+	h.seq++
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the earliest event: its time and payload.
+func (h *EventHeap[E]) Pop() (units.Millis, E) {
+	s := h.items
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	x := s[n]
+	h.items = s[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return x.at, x.payload
+}
+
+func (h *EventHeap[E]) less(i, j int) bool {
+	// Exact IEEE inequality keeps the order strict-weak; ties fall
+	// through to the deterministic sequence number (cf. sim.eventHeap).
+	if h.items[i].at != h.items[j].at { //lint:floatexact comparator tie-break: epsilon would break the strict weak order
+		return h.items[i].at < h.items[j].at
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+
+func (h *EventHeap[E]) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *EventHeap[E]) down(i int) {
+	n := len(h.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && h.less(r, l) {
+			j = r
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.items[i], h.items[j] = h.items[j], h.items[i]
+		i = j
+	}
+}
+
+// ReplicaHeap is a min-heap of replica indices: the idle set of one
+// replica pool. Popping the smallest index keeps replica selection
+// deterministic and stable under scale-up (new replicas get the highest
+// indices and are used last).
+type ReplicaHeap struct {
+	items []int
+}
+
+// Len returns the number of idle replicas.
+func (h *ReplicaHeap) Len() int { return len(h.items) }
+
+// Push returns a replica to the idle set.
+func (h *ReplicaHeap) Push(v int) {
+	h.items = append(h.items, v)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[i] >= h.items[p] {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+// Pop removes and returns the lowest idle replica index.
+func (h *ReplicaHeap) Pop() int {
+	s := h.items
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	x := s[n]
+	h.items = s[:n]
+	i, m := 0, n
+	for {
+		l := 2*i + 1
+		if l >= m {
+			break
+		}
+		j := l
+		if r := l + 1; r < m && s[r] < s[l] {
+			j = r
+		}
+		if s[j] >= s[i] {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	return x
+}
+
+// qitem is one queued request reference with its ordering key.
+type qitem struct {
+	deadline units.Millis
+	seq      int
+	ref      int
+}
+
+// RequestQueue is one replica pool's pending-request queue: a min-heap
+// over (absolute deadline, enqueue sequence) when ByDeadline is set
+// (EDF), or plain enqueue sequence otherwise (FIFO). The keys are stored
+// by value with the reference, so ordering never dereferences the
+// caller's request table.
+type RequestQueue struct {
+	// ByDeadline selects EDF ordering; false is FIFO.
+	ByDeadline bool
+	items      []qitem
+}
+
+// Len returns the number of queued requests.
+func (q *RequestQueue) Len() int { return len(q.items) }
+
+// Push queues the request identified by ref with the given absolute
+// deadline and enqueue sequence number (the FIFO key and EDF tie-break).
+func (q *RequestQueue) Push(deadline units.Millis, seq, ref int) {
+	q.items = append(q.items, qitem{deadline: deadline, seq: seq, ref: ref})
+	q.up(len(q.items) - 1)
+}
+
+// Pop removes and returns the reference of the first request in queue
+// order.
+func (q *RequestQueue) Pop() int {
+	s := q.items
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	x := s[n]
+	q.items = s[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	return x.ref
+}
+
+func (q *RequestQueue) less(i, j int) bool {
+	a, b := &q.items[i], &q.items[j]
+	if q.ByDeadline {
+		// Exact IEEE inequality; equal deadlines fall through to the
+		// deterministic enqueue order.
+		if a.deadline != b.deadline { //lint:floatexact comparator tie-break: epsilon would break the strict weak order
+			return a.deadline < b.deadline
+		}
+	}
+	return a.seq < b.seq
+}
+
+func (q *RequestQueue) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q.items[i], q.items[p] = q.items[p], q.items[i]
+		i = p
+	}
+}
+
+func (q *RequestQueue) down(i int) {
+	n := len(q.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && q.less(r, l) {
+			j = r
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q.items[i], q.items[j] = q.items[j], q.items[i]
+		i = j
+	}
+}

@@ -50,8 +50,9 @@ const (
 	EDFShed Policy = "edf-shed"
 )
 
-// Policies lists every implemented dispatch policy.
-func Policies() []Policy { return []Policy{FIFO, EDF, EDFShed} }
+// Policies lists every implemented dispatch policy, enumerated from
+// Registry (the single source of truth; see policyreg.go).
+func Policies() []Policy { return Registry.Policies() }
 
 // Sentinel errors of Options.Validate, all errors.Is-matchable.
 var (
@@ -247,9 +248,7 @@ func (o Options) Validate() error {
 			return fmt.Errorf("%w: tenant %d (%s) must be exactly one of open-loop (Rate > 0) or closed-loop (Clients > 0)", ErrBadTenant, i, t.Name)
 		}
 	}
-	switch o.Policy {
-	case "", FIFO, EDF, EDFShed:
-	default:
+	if o.Policy != "" && !Registry.Valid(o.Policy) {
 		return fmt.Errorf("%w %q (want one of %v)", ErrUnknownPolicy, string(o.Policy), Policies())
 	}
 	if o.Horizon < 0 {
@@ -279,208 +278,20 @@ type request struct {
 }
 
 // Event kinds, in no particular priority: simultaneous events execute in
-// push order via the sequence number.
+// push order via the heap's internal sequence number.
 const (
 	evArrive = iota // a request joins its model's queue
 	evFree          // a replica admits its next request
 	evDone          // a request completes
 )
 
+// event is the heap payload; the (time, sequence) key lives in the
+// EventHeap (heap.go), which serve shares with the cluster control plane.
 type event struct {
-	at      units.Millis
-	seq     int
 	kind    int
 	req     int // evArrive, evDone
 	model   int // evFree
 	replica int // evFree
-}
-
-// eventHeap is a typed binary min-heap. Like sim.eventHeap it does not
-// satisfy heap.Interface: container/heap would box one event (or int, for
-// the queues below) per operation in the dispatch loop. All three heaps
-// in this file order by a total key — (at, seq), replica index, or
-// (deadline, qseq) — so the pop sequences match container/heap's exactly.
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	// Exact IEEE inequality keeps the order strict-weak; ties fall
-	// through to the deterministic sequence number (cf. sim.eventHeap).
-	if h[i].at != h[j].at { //lint:floatexact comparator tie-break: epsilon would break the strict weak order
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) push(ev event) {
-	*h = append(*h, ev)
-	h.up(len(*h) - 1)
-}
-
-func (h *eventHeap) pop() event {
-	s := *h
-	n := len(s) - 1
-	s[0], s[n] = s[n], s[0]
-	x := s[n]
-	*h = s[:n]
-	if n > 0 {
-		h.down(0)
-	}
-	return x
-}
-
-func (h eventHeap) up(i int) {
-	for i > 0 {
-		p := (i - 1) / 2
-		if !h.Less(i, p) {
-			break
-		}
-		h.Swap(i, p)
-		i = p
-	}
-}
-
-func (h eventHeap) down(i int) {
-	n := len(h)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		j := l
-		if r := l + 1; r < n && h.Less(r, l) {
-			j = r
-		}
-		if !h.Less(j, i) {
-			break
-		}
-		h.Swap(i, j)
-		i = j
-	}
-}
-
-// intHeap is a typed min-heap of ints (idle replica indices).
-type intHeap []int
-
-func (h intHeap) Len() int           { return len(h) }
-func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-
-func (h *intHeap) push(v int) {
-	*h = append(*h, v)
-	h.up(len(*h) - 1)
-}
-
-func (h *intHeap) pop() int {
-	s := *h
-	n := len(s) - 1
-	s[0], s[n] = s[n], s[0]
-	x := s[n]
-	*h = s[:n]
-	if n > 0 {
-		h.down(0)
-	}
-	return x
-}
-
-func (h intHeap) up(i int) {
-	for i > 0 {
-		p := (i - 1) / 2
-		if !h.Less(i, p) {
-			break
-		}
-		h.Swap(i, p)
-		i = p
-	}
-}
-
-func (h intHeap) down(i int) {
-	n := len(h)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		j := l
-		if r := l + 1; r < n && h.Less(r, l) {
-			j = r
-		}
-		if !h.Less(j, i) {
-			break
-		}
-		h.Swap(i, j)
-		i = j
-	}
-}
-
-// reqQueue is one model's pending-request queue, ordered by the dispatch
-// policy: enqueue order under FIFO, (absolute deadline, enqueue order)
-// under EDF and EDFShed.
-type reqQueue struct {
-	byDeadline bool
-	reqs       *[]request
-	items      []int
-}
-
-func (q *reqQueue) Len() int { return len(q.items) }
-func (q *reqQueue) Less(i, j int) bool {
-	a, b := &(*q.reqs)[q.items[i]], &(*q.reqs)[q.items[j]]
-	if q.byDeadline {
-		// Exact IEEE inequality; equal deadlines fall through to the
-		// deterministic enqueue order.
-		if a.deadline != b.deadline { //lint:floatexact comparator tie-break: epsilon would break the strict weak order
-			return a.deadline < b.deadline
-		}
-	}
-	return a.qseq < b.qseq
-}
-func (q *reqQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
-
-func (q *reqQueue) push(ri int) {
-	q.items = append(q.items, ri)
-	q.up(len(q.items) - 1)
-}
-
-func (q *reqQueue) pop() int {
-	n := len(q.items) - 1
-	q.Swap(0, n)
-	x := q.items[n]
-	q.items = q.items[:n]
-	if n > 0 {
-		q.down(0)
-	}
-	return x
-}
-
-func (q *reqQueue) up(i int) {
-	for i > 0 {
-		p := (i - 1) / 2
-		if !q.Less(i, p) {
-			break
-		}
-		q.Swap(i, p)
-		i = p
-	}
-}
-
-func (q *reqQueue) down(i int) {
-	n := len(q.items)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		j := l
-		if r := l + 1; r < n && q.Less(r, l) {
-			j = r
-		}
-		if !q.Less(j, i) {
-			break
-		}
-		q.Swap(i, j)
-		i = j
-	}
 }
 
 // engine is the running simulation state.
@@ -488,21 +299,14 @@ type engine struct {
 	o      Options
 	reqs   []request
 	issued []int // per-tenant issue counter
-	queues []*reqQueue
-	idle   []*intHeap
+	queues []RequestQueue
+	idle   []ReplicaHeap
 	starts [][]int // starts[model][replica]
-	events eventHeap
-	seq    int // event sequence counter
+	events EventHeap[event]
 	qseq   int // enqueue sequence counter
 	depth  int // total queued requests across models
 	points []QueuePoint
 	rngs   []*rand.Rand
-}
-
-func (e *engine) push(ev event) {
-	ev.seq = e.seq
-	e.seq++
-	e.events.push(ev)
 }
 
 // newRequest creates a request arriving at the given time and schedules
@@ -519,7 +323,7 @@ func (e *engine) newRequest(tenant, client int, at units.Millis) {
 		state:    stQueued,
 	})
 	e.issued[tenant]++
-	e.push(event{at: at, kind: evArrive, req: ri})
+	e.events.Push(at, event{kind: evArrive, req: ri})
 }
 
 // expMillis draws an exponential duration with the given mean.
@@ -547,10 +351,10 @@ func (e *engine) reissue(tenant, client int, now units.Millis) {
 //
 //lint:hotpath
 func (e *engine) dispatch(mi int, now units.Millis) {
-	q, idle := e.queues[mi], e.idle[mi]
+	q, idle := &e.queues[mi], &e.idle[mi]
 	m := &e.o.Models[mi]
 	for idle.Len() > 0 && q.Len() > 0 {
-		ri := q.pop()
+		ri := q.Pop()
 		r := &e.reqs[ri]
 		e.depth--
 		if e.o.Policy == EDFShed && now+m.Latency > r.deadline {
@@ -561,11 +365,11 @@ func (e *engine) dispatch(mi int, now units.Millis) {
 			e.reissue(r.tenant, r.client, now)
 			continue
 		}
-		rep := idle.pop()
+		rep := idle.Pop()
 		r.state = stRunning
 		e.starts[mi][rep]++
-		e.push(event{at: now + m.Latency, kind: evDone, req: ri})
-		e.push(event{at: now + m.Period, kind: evFree, model: mi, replica: rep})
+		e.events.Push(now+m.Latency, event{kind: evDone, req: ri})
+		e.events.Push(now+m.Period, event{kind: evFree, model: mi, replica: rep})
 	}
 }
 
@@ -598,18 +402,16 @@ func Run(opt Options) (*Report, error) {
 	e := &engine{
 		o:      opt,
 		issued: make([]int, len(opt.Tenants)),
-		queues: make([]*reqQueue, len(opt.Models)),
-		idle:   make([]*intHeap, len(opt.Models)),
+		queues: make([]RequestQueue, len(opt.Models)),
+		idle:   make([]ReplicaHeap, len(opt.Models)),
 		starts: make([][]int, len(opt.Models)),
 		rngs:   make([]*rand.Rand, len(opt.Tenants)),
 	}
 	for mi, m := range opt.Models {
-		e.queues[mi] = &reqQueue{byDeadline: opt.Policy != FIFO, reqs: &e.reqs}
-		ih := make(intHeap, m.Replicas)
-		for r := range ih {
-			ih[r] = r
+		e.queues[mi] = RequestQueue{ByDeadline: opt.Policy != FIFO}
+		for r := 0; r < m.Replicas; r++ {
+			e.idle[mi].Push(r)
 		}
-		e.idle[mi] = &ih
 		e.starts[mi] = make([]int, m.Replicas)
 	}
 	for ti, t := range opt.Tenants {
@@ -635,8 +437,7 @@ func Run(opt Options) (*Report, error) {
 
 	var makespan units.Millis
 	for e.events.Len() > 0 {
-		ev := e.events.pop()
-		now := ev.at
+		now, ev := e.events.Pop()
 		if now > makespan {
 			makespan = now
 		}
@@ -646,11 +447,11 @@ func Run(opt Options) (*Report, error) {
 			r.qseq = e.qseq
 			e.qseq++
 			mi := e.o.Tenants[r.tenant].Model
-			e.queues[mi].push(ev.req)
+			e.queues[mi].Push(r.deadline, r.qseq, ev.req)
 			e.depth++
 			e.dispatch(mi, now)
 		case evFree:
-			e.idle[ev.model].push(ev.replica)
+			e.idle[ev.model].Push(ev.replica)
 			e.dispatch(ev.model, now)
 		case evDone:
 			r := &e.reqs[ev.req]
