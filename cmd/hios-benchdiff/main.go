@@ -67,6 +67,7 @@ func main() {
 		maxAllocRatio = flag.Float64("max-allocs-ratio", 1.1, "fail when new/old allocs per op exceeds this")
 		filter        = flag.String("filter", "", "diff only benchmark keys matching this regular expression")
 		geomean       = flag.Bool("geomean", false, "append a geometric-mean summary row over the compared ratios")
+		asJSON        = flag.Bool("json", false, "emit the diff as JSON instead of a table")
 	)
 	flag.Parse()
 
@@ -77,7 +78,7 @@ func main() {
 			os.Exit(2)
 		}
 	case *oldPath != "" && *newPath != "":
-		regressed, err := runDiff(*oldPath, *newPath, *maxNsRatio, *maxAllocRatio, *filter, *geomean)
+		regressed, err := runDiff(*oldPath, *newPath, *maxNsRatio, *maxAllocRatio, *filter, *geomean, *asJSON)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hios-benchdiff:", err)
 			os.Exit(2)
@@ -210,7 +211,36 @@ func load(path string) (file, error) {
 	return doc, nil
 }
 
-func runDiff(oldPath, newPath string, maxNs, maxAllocs float64, filter string, geomean bool) (bool, error) {
+// diffRow is one benchmark's comparison. Status is "compared" when both
+// files hold the benchmark, "missing from candidate" when only the
+// baseline does, "missing from baseline" when only the candidate does —
+// unmatched entries are always reported, never silently skipped, so a
+// renamed benchmark cannot quietly drop out of the gate.
+type diffRow struct {
+	Name        string   `json:"name"`
+	Status      string   `json:"status"`
+	OldNsPerOp  *float64 `json:"old_ns_per_op,omitempty"`
+	NewNsPerOp  *float64 `json:"new_ns_per_op,omitempty"`
+	NsRatio     *float64 `json:"ns_ratio,omitempty"`
+	AllocsRatio *float64 `json:"allocs_ratio,omitempty"`
+	Regressed   bool     `json:"regressed,omitempty"`
+}
+
+// diffReport is the -json document: every row plus the thresholds and
+// geometric means, so a CI consumer needs no side channel to interpret
+// the verdict.
+type diffReport struct {
+	Old               string    `json:"old"`
+	New               string    `json:"new"`
+	MaxNsRatio        float64   `json:"max_ns_ratio"`
+	MaxAllocsRatio    float64   `json:"max_allocs_ratio"`
+	Benchmarks        []diffRow `json:"benchmarks"`
+	GeomeanNsRatio    *float64  `json:"geomean_ns_ratio,omitempty"`
+	GeomeanAllocRatio *float64  `json:"geomean_allocs_ratio,omitempty"`
+	Regressed         bool      `json:"regressed"`
+}
+
+func runDiff(oldPath, newPath string, maxNs, maxAllocs float64, filter string, geomean, asJSON bool) (bool, error) {
 	oldDoc, err := load(oldPath)
 	if err != nil {
 		return false, err
@@ -227,82 +257,120 @@ func runDiff(oldPath, newPath string, maxNs, maxAllocs float64, filter string, g
 		}
 	}
 
-	names := make([]string, 0, len(oldDoc.Benchmarks))
+	// Union of both files' keys (filtered), sorted for determinism.
+	nameSet := make(map[string]bool, len(oldDoc.Benchmarks)+len(newDoc.Benchmarks))
 	for name := range oldDoc.Benchmarks {
+		nameSet[name] = true
+	}
+	for name := range newDoc.Benchmarks {
+		nameSet[name] = true
+	}
+	names := make([]string, 0, len(nameSet))
+	for name := range nameSet {
 		if keep == nil || keep.MatchString(name) {
 			names = append(names, name)
 		}
 	}
 	sort.Strings(names)
 
-	regressed := false
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	fmt.Fprintf(w, "%-55s %12s %14s\n", "benchmark", "ns ratio", "allocs ratio")
+	report := diffReport{
+		Old: oldPath, New: newPath,
+		MaxNsRatio: maxNs, MaxAllocsRatio: maxAllocs,
+	}
 	// Geometric-mean accumulators over benchmarks present on both sides:
 	// sums of log-ratios, so one outlier cannot drown the rest the way an
 	// arithmetic mean of ratios would.
 	var nsLogSum, allocLogSum float64
 	nsCount, allocCount := 0, 0
 	for _, name := range names {
-		o := oldDoc.Benchmarks[name]
-		n, ok := newDoc.Benchmarks[name]
-		if !ok {
-			fmt.Fprintf(w, "%-55s %12s %14s\n", name, "absent", "absent")
+		o, inOld := oldDoc.Benchmarks[name]
+		n, inNew := newDoc.Benchmarks[name]
+		row := diffRow{Name: name, Status: "compared"}
+		switch {
+		case !inNew:
+			row.Status = "missing from candidate"
+			row.OldNsPerOp = &o.NsPerOp
+		case !inOld:
+			row.Status = "missing from baseline"
+			row.NewNsPerOp = &n.NsPerOp
+		default:
+			row.OldNsPerOp, row.NewNsPerOp = &o.NsPerOp, &n.NsPerOp
+			nsRatio := ratio(n.NsPerOp, o.NsPerOp)
+			row.NsRatio = &nsRatio
+			if nsRatio > 0 {
+				nsLogSum += math.Log(nsRatio)
+				nsCount++
+			}
+			if nsRatio > maxNs {
+				row.Regressed = true
+			}
+			if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+				ar := ratio(*n.AllocsPerOp, *o.AllocsPerOp)
+				row.AllocsRatio = &ar
+				if ar > 0 {
+					allocLogSum += math.Log(ar)
+					allocCount++
+				}
+				if ar > maxAllocs {
+					row.Regressed = true
+				}
+			}
+		}
+		report.Regressed = report.Regressed || row.Regressed
+		report.Benchmarks = append(report.Benchmarks, row)
+	}
+	if nsCount > 0 {
+		gm := math.Exp(nsLogSum / float64(nsCount))
+		report.GeomeanNsRatio = &gm
+	}
+	if allocCount > 0 {
+		gm := math.Exp(allocLogSum / float64(allocCount))
+		report.GeomeanAllocRatio = &gm
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if asJSON {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return false, err
+		}
+		data = append(data, '\n')
+		_, err = w.Write(data)
+		return report.Regressed, err
+	}
+	fmt.Fprintf(w, "%-55s %12s %14s\n", "benchmark", "ns ratio", "allocs ratio")
+	for _, row := range report.Benchmarks {
+		if row.NsRatio == nil {
+			fmt.Fprintf(w, "%-55s    -- %s --\n", row.Name, row.Status)
 			continue
 		}
-		nsRatio := ratio(n.NsPerOp, o.NsPerOp)
-		if nsRatio > 0 {
-			nsLogSum += math.Log(nsRatio)
-			nsCount++
+		allocStr := "n/a"
+		if row.AllocsRatio != nil {
+			allocStr = fmt.Sprintf("%.3f", *row.AllocsRatio)
 		}
 		mark := ""
-		if nsRatio > maxNs {
+		if *row.NsRatio > maxNs {
 			mark = "  ** ns regression"
-			regressed = true
 		}
-		allocStr := "n/a"
-		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
-			ar := ratio(*n.AllocsPerOp, *o.AllocsPerOp)
-			allocStr = fmt.Sprintf("%.3f", ar)
-			if ar > 0 {
-				allocLogSum += math.Log(ar)
-				allocCount++
-			}
-			if ar > maxAllocs {
-				mark += "  ** allocs regression"
-				regressed = true
-			}
+		if row.AllocsRatio != nil && *row.AllocsRatio > maxAllocs {
+			mark += "  ** allocs regression"
 		}
-		fmt.Fprintf(w, "%-55s %12.3f %14s%s\n", name, nsRatio, allocStr, mark)
+		fmt.Fprintf(w, "%-55s %12.3f %14s%s\n", row.Name, *row.NsRatio, allocStr, mark)
 	}
-	if geomean && nsCount > 0 {
+	if geomean && report.GeomeanNsRatio != nil {
 		allocStr := "n/a"
-		if allocCount > 0 {
-			allocStr = fmt.Sprintf("%.3f", math.Exp(allocLogSum/float64(allocCount)))
+		if report.GeomeanAllocRatio != nil {
+			allocStr = fmt.Sprintf("%.3f", *report.GeomeanAllocRatio)
 		}
 		fmt.Fprintf(w, "%-55s %12.3f %14s\n",
 			fmt.Sprintf("geomean (%d benchmarks)", nsCount),
-			math.Exp(nsLogSum/float64(nsCount)), allocStr)
+			*report.GeomeanNsRatio, allocStr)
 	}
-	// Benchmarks absent from the baseline, in sorted (deterministic) order.
-	added := make([]string, 0, len(newDoc.Benchmarks))
-	for name := range newDoc.Benchmarks {
-		if keep != nil && !keep.MatchString(name) {
-			continue
-		}
-		if _, ok := oldDoc.Benchmarks[name]; !ok {
-			added = append(added, name)
-		}
-	}
-	sort.Strings(added)
-	for _, name := range added {
-		fmt.Fprintf(w, "%-55s %12s %14s\n", name, "new", "new")
-	}
-	if regressed {
+	if report.Regressed {
 		fmt.Fprintf(w, "\nFAIL: regression past thresholds (ns > %.2fx, allocs > %.2fx)\n", maxNs, maxAllocs)
 	}
-	return regressed, nil
+	return report.Regressed, nil
 }
 
 // ratio returns n/o, treating a zero or absent baseline as neutral: a

@@ -29,10 +29,14 @@ func main() {
 		gpus   = flag.Int("gpus", 4, "GPU count for the fixed-GPU sweeps")
 		window = flag.Int("window", 0, "max sliding-window size (0 = default)")
 		asJSON = flag.Bool("json", false, "emit figures as JSON instead of tables")
+
+		workers    = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		iosWorkers = flag.Int("ios-workers", 0, "concurrent IOS block solves per scheduler run (0/1 = serial)")
 	)
 	flag.Parse()
 
-	opt := hios.SimOptions{Seeds: *seeds, GPUs: *gpus, Window: *window}
+	opt := hios.SimOptions{Seeds: *seeds, GPUs: *gpus, Window: *window,
+		Workers: *workers, IOSWorkers: *iosWorkers}
 	if err := opt.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "hios-sim:", err)
 		os.Exit(1)

@@ -27,6 +27,7 @@ import (
 
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/costcache"
+	"github.com/shus-lab/hios/internal/dpcache"
 	"github.com/shus-lab/hios/internal/gpu"
 	"github.com/shus-lab/hios/internal/graph"
 	"github.com/shus-lab/hios/internal/memory"
@@ -173,6 +174,10 @@ type Options struct {
 	IOSMaxStage int
 	// IOSPruneWindow bounds the IOS frontier enumeration (0 = 8).
 	IOSPruneWindow int
+	// IOSWorkers bounds how many independent IOS blocks are solved
+	// concurrently. The schedule is byte-identical at any width; zero or
+	// one solves serially, negative is invalid.
+	IOSWorkers int
 }
 
 // Sentinel errors of Options.Validate. Match with errors.Is; the
@@ -185,7 +190,8 @@ var (
 	ErrNoGPUs = errors.New("hios: multi-GPU algorithm needs GPUs >= 1")
 	// ErrBadWindow reports a negative sliding-window size.
 	ErrBadWindow = errors.New("hios: negative window size")
-	// ErrBadIOSBound reports a negative IOS pruning bound.
+	// ErrBadIOSBound reports a negative IOS pruning bound or worker
+	// count.
 	ErrBadIOSBound = errors.New("hios: negative IOS bound")
 )
 
@@ -202,8 +208,8 @@ func (a Algorithm) multiGPU() bool {
 // Validate checks the options against the selected algorithm and
 // returns the first violation wrapped around one of the sentinel errors
 // above (nil when the configuration is valid). Zero values with
-// documented defaults — Window, IOSMaxStage, IOSPruneWindow, and GPUs
-// for single-GPU algorithms — are always valid. Optimize and every cmd/
+// documented defaults — Window, IOSMaxStage, IOSPruneWindow, IOSWorkers,
+// and GPUs for single-GPU algorithms — are always valid. Optimize and every cmd/
 // driver route their checking through here, so the rules live in one
 // place and callers can errors.Is-match the failure.
 func (o Options) Validate(algo Algorithm) error {
@@ -218,8 +224,8 @@ func (o Options) Validate(algo Algorithm) error {
 	if o.Window < 0 {
 		return fmt.Errorf("%w: %d", ErrBadWindow, o.Window)
 	}
-	if o.IOSMaxStage < 0 || o.IOSPruneWindow < 0 {
-		return fmt.Errorf("%w: IOSMaxStage=%d IOSPruneWindow=%d", ErrBadIOSBound, o.IOSMaxStage, o.IOSPruneWindow)
+	if o.IOSMaxStage < 0 || o.IOSPruneWindow < 0 || o.IOSWorkers < 0 {
+		return fmt.Errorf("%w: IOSMaxStage=%d IOSPruneWindow=%d IOSWorkers=%d", ErrBadIOSBound, o.IOSMaxStage, o.IOSPruneWindow, o.IOSWorkers)
 	}
 	return nil
 }
@@ -235,7 +241,7 @@ func Optimize(g *Graph, m CostModel, algo Algorithm, opt Options) (Result, error
 	case Sequential:
 		return seq.Schedule(g, m)
 	case IOS:
-		return ios.Schedule(g, m, ios.Options{MaxStage: opt.IOSMaxStage, PruneWindow: opt.IOSPruneWindow})
+		return ios.Schedule(g, m, ios.Options{MaxStage: opt.IOSMaxStage, PruneWindow: opt.IOSPruneWindow, Workers: opt.IOSWorkers})
 	case HIOSLP:
 		return lp.Schedule(g, m, lp.Options{GPUs: opt.GPUs, Window: opt.Window})
 	case HIOSMR:
@@ -329,6 +335,23 @@ func SharedKernelCacheStats() KernelCacheStats { return costcache.Shared().Stats
 // depend on the cache's state — values are pure functions of their
 // shapes — so this only matters for cold-cache measurements.
 func ResetSharedKernelCache() { costcache.Shared().Reset() }
+
+// BlockCacheStats snapshots the process-wide IOS block-solve cache: how
+// many distinct block signatures have been solved and how often a solve
+// was answered from memory. The cache memoizes whole dynamic-program
+// solves by a canonical block signature (stage items, intra-block edges,
+// contention calibration and pruning options — never operator IDs), so a
+// structurally identical block costs one map lookup after its first
+// solve; see DESIGN.md "Pruned and memoized DP search".
+type BlockCacheStats = dpcache.Stats
+
+// SharedBlockCacheStats reports the shared block cache's snapshot.
+func SharedBlockCacheStats() BlockCacheStats { return dpcache.Shared().Stats() }
+
+// ResetSharedBlockCache drops every memoized block solve. Cached solves
+// are bit-identical replays of the dynamic program, so results never
+// depend on the cache's state — only cold-path timings do.
+func ResetSharedBlockCache() { dpcache.Shared().Reset() }
 
 // CachedCostModel prices a built net straight from its per-operator
 // kernel shapes through the shared kernel-signature cache, with the

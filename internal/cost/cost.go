@@ -48,6 +48,33 @@ type Item struct {
 	Util float64
 }
 
+// ItemModel is the contract behind the IOS dynamic program's fast path
+// and its cross-sweep block cache (internal/dpcache): a model whose
+// StageTime is EXACTLY Contention.StageTimeItems over fixed per-operator
+// items. Implementations promise, bit for bit,
+//
+//	StageTime(ops) == Contention().StageTimeItems([StageItem(v) for v in ops])
+//
+// for every operator list, so a caller may fold StageItem values through
+// Contention.accumulate/combine incrementally — or memoize a whole block
+// solve by its item values — and obtain byte-identical results.
+//
+// Only models that are pure functions of their items may implement this.
+// profile.CostTable and FrozenModel deliberately do NOT: their StageTime
+// carries probe accounting (the Fig. 14 profiling-cost experiment), and
+// a fast path that skipped StageTime would corrupt the counts. The same
+// goes for costcache.KernelModel, whose probes feed the shared kernel
+// cache statistics.
+type ItemModel interface {
+	Model
+	// Contention returns the stage pricing the model folds items with.
+	Contention() Contention
+	// StageItem returns operator v's stage contribution. The Util field
+	// is returned unclamped — clamping is Contention.accumulate's job,
+	// exactly as in StageTime.
+	StageItem(v graph.OpID) Item
+}
+
 // Contention is the concurrent-execution model for one GPU.
 //
 // A stage S of independent operators launched on separate streams takes
@@ -84,14 +111,14 @@ func (c Contention) StageTimeItems(items []Item) units.Millis {
 	var maxT, work units.Millis
 	var util float64
 	for _, it := range items {
-		maxT, work, util = c.accumulate(maxT, work, util, it.Time, it.Util)
+		maxT, work, util = c.Accumulate(maxT, work, util, it.Time, it.Util)
 	}
-	return c.combine(maxT, work, util)
+	return c.Combine(maxT, work, util)
 }
 
 // accumulate folds one operator into the stage aggregates. work is the
 // utilization-weighted time Σ t(v)·u(v), still dimensionally time.
-func (c Contention) accumulate(maxT, work units.Millis, util float64, t units.Millis, u float64) (units.Millis, units.Millis, float64) {
+func (c Contention) Accumulate(maxT, work units.Millis, util float64, t units.Millis, u float64) (units.Millis, units.Millis, float64) {
 	if u <= 0 {
 		u = c.DefaultUtil
 	}
@@ -105,7 +132,7 @@ func (c Contention) accumulate(maxT, work units.Millis, util float64, t units.Mi
 }
 
 // combine turns the stage aggregates into t(S).
-func (c Contention) combine(maxT, work units.Millis, util float64) units.Millis {
+func (c Contention) Combine(maxT, work units.Millis, util float64) units.Millis {
 	t := maxT
 	if work > t {
 		t = work
@@ -154,13 +181,25 @@ func (m *GraphModel) StageTime(ops []graph.OpID) units.Millis {
 	var util float64
 	for _, id := range ops {
 		op := m.g.Op(id)
-		maxT, work, util = m.c.accumulate(maxT, work, util, units.Millis(op.Time), op.Util)
+		maxT, work, util = m.c.Accumulate(maxT, work, util, units.Millis(op.Time), op.Util)
 	}
-	return m.c.combine(maxT, work, util)
+	return m.c.Combine(maxT, work, util)
 }
 
 // Contention exposes the stage pricing used by the model.
 func (m *GraphModel) Contention() Contention { return m.c }
+
+var _ ItemModel = (*GraphModel)(nil)
+
+// StageItem implements ItemModel: the graph's vertex weight and raw
+// utilization. StageTime is the accumulate/combine fold of exactly these
+// values (the len==1 special case is also bit-identical: with u clamped
+// into (0, 1], max(t, t·u) is t and no oversubscription scale fires), so
+// GraphModel satisfies the ItemModel contract.
+func (m *GraphModel) StageItem(v graph.OpID) Item {
+	op := m.g.Op(v)
+	return Item{Time: units.Millis(op.Time), Util: op.Util}
+}
 
 // SerialModel prices stages as the sum of member times: no intra-GPU
 // overlap at all. Useful as a pessimistic baseline and in tests.

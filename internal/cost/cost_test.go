@@ -136,3 +136,48 @@ func TestSerialModelSumsStage(t *testing.T) {
 		t.Fatal("SerialModel must forward OpTime/CommTime")
 	}
 }
+
+// TestGraphModelItemModelContract enforces the ItemModel promise:
+// StageTime(ops) must equal the Contention fold of StageItem values bit
+// for bit, for every stage size including the len==1 special case, and
+// including unknown (zero) utilizations. The IOS DP's fast path and the
+// dpcache block signatures are only exact because of this identity.
+func TestGraphModelItemModelContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := graph.New(64, 0)
+	for i := 0; i < 64; i++ {
+		u := rng.Float64() * 1.2 // past 1: exercises the clamp path
+		if i%7 == 0 {
+			u = 0 // unknown utilization: exercises DefaultUtil
+		}
+		g.AddOp(graph.Op{Time: 0.1 + 3.9*rng.Float64(), Util: u})
+	}
+	g.MustFinalize()
+	m := FromGraph(g, DefaultContention())
+	var im ItemModel = m // compile-time: GraphModel satisfies ItemModel
+	c := im.Contention()
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		ops := make([]graph.OpID, n)
+		items := make([]Item, n)
+		for i := range ops {
+			ops[i] = graph.OpID(rng.Intn(64))
+			items[i] = im.StageItem(ops[i])
+		}
+		direct := m.StageTime(ops)
+		folded := c.StageTimeItems(items)
+		if direct != folded {
+			t.Fatalf("trial %d ops=%v: StageTime=%b != fold=%b — ItemModel contract broken",
+				trial, ops, float64(direct), float64(folded))
+		}
+		// The incremental form the DP actually uses.
+		var maxT, work units.Millis
+		var util float64
+		for _, it := range items {
+			maxT, work, util = c.Accumulate(maxT, work, util, it.Time, it.Util)
+		}
+		if inc := c.Combine(maxT, work, util); inc != direct {
+			t.Fatalf("trial %d: incremental fold %b != StageTime %b", trial, float64(inc), float64(direct))
+		}
+	}
+}

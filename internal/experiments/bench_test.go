@@ -6,6 +6,7 @@ import (
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/gpu"
 	"github.com/shus-lab/hios/internal/randdag"
+	"github.com/shus-lab/hios/internal/sched/ios"
 	"github.com/shus-lab/hios/internal/sched/lp"
 	"github.com/shus-lab/hios/internal/sched/mr"
 	"github.com/shus-lab/hios/internal/sched/window"
@@ -39,6 +40,21 @@ func benchAlgo(b *testing.B, algo string, gpus int) {
 
 func BenchmarkSchedulerSequential(b *testing.B) { benchAlgo(b, AlgoSequential, 1) }
 func BenchmarkSchedulerIOS(b *testing.B)        { benchAlgo(b, AlgoIOS, 1) }
+
+// BenchmarkSchedulerIOSCold disables the shared block cache, so every
+// iteration pays the full pruned DP search: the cold-solve cost the warm
+// BenchmarkSchedulerIOS amortizes away after its first iteration.
+func BenchmarkSchedulerIOSCold(b *testing.B) {
+	g := randdag.MustGenerate(benchGraphAndModel())
+	m := cost.FromGraph(g, cost.DefaultContention())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(AlgoIOS, g, m, RunConfig{IOS: ios.Options{NoCache: true}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 func BenchmarkSchedulerHIOSLP4GPUs(b *testing.B) {
 	benchAlgo(b, AlgoHIOSLP, 4)
 }

@@ -26,7 +26,7 @@ var FloatCmp = &analysis.Analyzer{
 }
 
 func runFloatCmp(pass *analysis.Pass) error {
-	if !inScope(pass.Path, "internal/sched", "internal/sim", "internal/cost", "internal/costcache", "internal/experiments", "internal/serve", "internal/cluster", "internal/specflag", "internal/graph", "cmd") {
+	if !inScope(pass.Path, "internal/sched", "internal/sim", "internal/cost", "internal/costcache", "internal/dpcache", "internal/experiments", "internal/serve", "internal/cluster", "internal/specflag", "internal/graph", "cmd") {
 		return nil
 	}
 	for _, f := range pass.Files {

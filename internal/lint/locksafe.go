@@ -9,8 +9,9 @@ import (
 )
 
 // LockSafe enforces the lock discipline of the mutex-bearing packages
-// (internal/costcache, internal/profile, internal/parallel,
-// internal/runtime, internal/serve, internal/cluster): critical
+// (internal/costcache, internal/dpcache, internal/profile,
+// internal/parallel, internal/runtime, internal/serve,
+// internal/cluster): critical
 // sections stay short,
 // allocation-free and balanced. Concretely it flags
 //
@@ -50,7 +51,7 @@ var LockSafe = &analysis.Analyzer{
 }
 
 func runLockSafe(pass *analysis.Pass) error {
-	if !inScope(pass.Path, "internal/costcache", "internal/profile", "internal/parallel", "internal/runtime", "internal/serve", "internal/cluster") {
+	if !inScope(pass.Path, "internal/costcache", "internal/dpcache", "internal/profile", "internal/parallel", "internal/runtime", "internal/serve", "internal/cluster") {
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -2,7 +2,6 @@ package ios
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/shus-lab/hios/internal/cost"
 	"github.com/shus-lab/hios/internal/graph"
@@ -20,164 +19,232 @@ const maxBlockOps = 8 * 64
 type bitset [8]uint64
 
 func (b *bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b *bitset) unset(i int)    { b[i/64] &^= 1 << (uint(i) % 64) }
 func (b *bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
 
+// zobrist holds one random-looking 64-bit key per local operator index.
+// A state's hash is the XOR of its members' keys, so the DP maintains it
+// incrementally in O(1) per set/unset along the subset-enumeration DFS
+// instead of re-mixing the whole bitset per candidate. The keys come from
+// a splitmix64 stream over the index — fixed constants that hash bitsets
+// and never feed an RNG, hence the seedflow suppressions. The hash only
+// picks open-addressing probe positions (lookups compare full bitsets),
+// so the choice of constants cannot affect any result.
+var zobrist [maxBlockOps]uint64
+
+func init() {
+	x := uint64(0)
+	for i := range zobrist {
+		x += 0x9e3779b97f4a7c15 //lint:seedflow (hash mixing, not seed derivation)
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9 //lint:seedflow (hash mixing, not seed derivation)
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb //lint:seedflow (hash mixing, not seed derivation)
+		zobrist[i] = z ^ (z >> 31)
+	}
+}
+
 // dpState is one DP node: a prefix-closed set of scheduled block operators.
-// States live in the solver's slab and reference each other by slab index;
-// the stage taken to reach a state is a range of the solver's stage arena.
-// Nothing in a dpState points into the heap, so growing the slab moves
-// states without invalidating anything.
+// Pending states live in their count bucket's slab and are indexed there by
+// open addressing on the incremental hash; once expanded, a state is copied
+// to the solver's done slab, and prev always names a done index — a state's
+// predecessor is necessarily expanded before the state itself. Nothing in a
+// dpState points into the heap, so growing either slab moves states without
+// invalidating anything.
 type dpState struct {
 	set      bitset
-	cost     units.Millis
-	prev     int32 // slab index of the predecessor state (-1 for the start)
-	stageOff int32 // stage range in the solver's arena (graph IDs)
+	hash     uint64       // XOR of zobrist keys of the members
+	cost     units.Millis // best known dp[S]
+	work     units.Millis // Σ t·u along the best path (fast path; bounds pruning)
+	prev     int32        // done-slab index of the predecessor (-1 for the start)
+	stageOff int32        // stage range: pending arena while pending, done arena after
 	stageLen int32
 	count    int32 // popcount of set
 }
 
-// solver holds every scratch structure of the block dynamic program so one
-// Schedule call (or one SolveSequence caller) reuses the allocations across
-// blocks. The DP used to allocate per state — a map entry keyed by the
-// 64-byte bitset, a *dpState, and a fresh stage slice on every
-// better-cost improvement — which made the DP the dominant allocation
-// site of the whole reproduction (BenchmarkSchedulerIOS). The slab +
-// arena + open-addressing layout below performs a small constant number
-// of amortized allocations per block instead. The zero value is ready.
-type solver struct {
-	inBlock []int32 // graph OpID -> local block index, -1 outside
-	preds   [][]int // local intra-block predecessor lists
-
-	states []dpState    // state slab, index-addressed
-	arena  []graph.OpID // interned stage storage, ranges never move
-	index  []int32      // open addressing: 0 = empty, else state index + 1
-	words  int          // bitset words in use for the current block
-	filled int          // occupied index slots
-	bucket [][]int32    // state indices by scheduled-operator count
-	front  []int        // frontier scratch
-	stage  []int        // subset-enumeration scratch
-	probe  []graph.OpID // candidate stage handed to the cost model
-	sorter bucketSorter // beam-prune sort scratch
-}
-
-// bucketSorter orders a bucket's state indices by (cost, bitset). It lives
-// in the solver so the beam prune sorts via sort.Sort on a pointer receiver
-// — no per-sort closure or interface boxing inside the DP bucket loop, and
-// the (cost, distinct-bitset) key is a total order, so the result is
-// identical to the sort.Slice it replaced.
-type bucketSorter struct {
+// pending is the storage of one in-flight operator count: the states that
+// have been created but not yet expanded, their interned stages, and the
+// open-addressing index over them (0 = empty, else state index + 1).
+//
+// Transitions strictly increase the count by at most MaxStage, so at most
+// MaxStage+1 counts are ever live at once: the one being expanded and the
+// MaxStage ahead of it. The solver keeps a ring of that many pending
+// buckets and recycles each one wholesale after its count is processed —
+// the old single-slab layout retained every state ever created, which made
+// a 200-op beam solve touch hundreds of megabytes; the ring keeps the
+// working set to the live window.
+type pending struct {
 	states []dpState
-	bucket []int32
+	arena  []graph.OpID
+	index  []int32
+	filled int
 }
 
-func (b *bucketSorter) Len() int      { return len(b.bucket) }
-func (b *bucketSorter) Swap(i, j int) { b.bucket[i], b.bucket[j] = b.bucket[j], b.bucket[i] }
-func (b *bucketSorter) Less(i, j int) bool {
-	a, z := &b.states[b.bucket[i]], &b.states[b.bucket[j]]
-	// Exact IEEE inequality keeps this tie-break a strict weak order; an
-	// epsilon compare would not.
-	if a.cost != z.cost { //lint:floatexact comparator tie-break: epsilon would break the strict weak order
-		return a.cost < z.cost
-	}
-	return less(a.set, z.set)
-}
-
-// hashBits mixes the block's active bitset words (splitmix64 finalizer
-// over an FNV-style fold); the index capacity is a power of two, so the
-// low bits must be well distributed. The splitmix64 constants here hash
-// bitsets and never feed an RNG, hence the seedflow suppressions.
-func (s *solver) hashBits(set *bitset) uint64 {
-	h := uint64(0x9e3779b97f4a7c15) //lint:seedflow (hash mixing, not seed derivation)
-	for i := 0; i < s.words; i++ {
-		h = (h ^ set[i]) * 0xbf58476d1ce4e5b9 //lint:seedflow (hash mixing, not seed derivation)
-	}
-	h ^= h >> 30
-	h *= 0x94d049bb133111eb //lint:seedflow (hash mixing, not seed derivation)
-	h ^= h >> 31
-	return h
-}
-
-// find returns the slab index of the state with the given set, or -1.
-func (s *solver) find(set *bitset) int32 {
-	mask := uint64(len(s.index) - 1)
-	for i := s.hashBits(set) & mask; ; i = (i + 1) & mask {
-		e := s.index[i]
+// find returns the bucket index of the state with the given set, or -1.
+func (p *pending) find(hash uint64, set *bitset) int32 {
+	mask := uint64(len(p.index) - 1)
+	for i := hash & mask; ; i = (i + 1) & mask {
+		e := p.index[i]
 		if e == 0 {
 			return -1
 		}
-		if s.states[e-1].set == *set {
+		if p.states[e-1].set == *set {
 			return e - 1
 		}
 	}
 }
 
-// insert records the (already appended) state at slab index si in the
+// insert records the (already appended) state at bucket index si in the
 // index, growing and rehashing at 3/4 load.
-func (s *solver) insert(si int32) {
-	if (s.filled+1)*4 >= len(s.index)*3 {
-		s.rehash(len(s.index) * 2)
+func (p *pending) insert(si int32) {
+	if (p.filled+1)*4 >= len(p.index)*3 {
+		p.rehash(len(p.index) * 2)
 	}
-	mask := uint64(len(s.index) - 1)
-	i := s.hashBits(&s.states[si].set) & mask
-	for s.index[i] != 0 {
+	mask := uint64(len(p.index) - 1)
+	i := p.states[si].hash & mask
+	for p.index[i] != 0 {
 		i = (i + 1) & mask
 	}
-	s.index[i] = si + 1
-	s.filled++
+	p.index[i] = si + 1
+	p.filled++
 }
 
-func (s *solver) rehash(capacity int) {
-	if cap(s.index) >= capacity {
-		s.index = s.index[:capacity]
-		clear(s.index)
+func (p *pending) rehash(capacity int) {
+	if cap(p.index) >= capacity {
+		p.index = p.index[:capacity]
+		clear(p.index)
 	} else {
-		s.index = make([]int32, capacity)
+		p.index = make([]int32, capacity)
 	}
 	mask := uint64(capacity - 1)
-	for si := range s.states {
-		i := s.hashBits(&s.states[si].set) & mask
-		for s.index[i] != 0 {
+	for si := range p.states {
+		i := p.states[si].hash & mask
+		for p.index[i] != 0 {
 			i = (i + 1) & mask
 		}
-		s.index[i] = int32(si) + 1
+		p.index[i] = int32(si) + 1
 	}
 }
 
-// internStage appends the probe to the arena and returns its range.
-func (s *solver) internStage(ops []graph.OpID) (int32, int32) {
-	off := int32(len(s.arena))
-	s.arena = append(s.arena, ops...)
-	return off, int32(len(ops))
+// recycle empties the bucket for reuse by a later count, keeping every
+// backing array.
+func (p *pending) recycle() {
+	p.states = p.states[:0]
+	p.arena = p.arena[:0]
+	p.filled = 0
+	clear(p.index)
 }
 
-// reset prepares the solver for a block of b operators over a graph of n.
-func (s *solver) reset(n, b int) {
+// stateLess orders two bucket states by (cost, bitset): the beam
+// selection's total order. Distinct states have distinct bitsets, so the
+// order is strict and the selected set is unique.
+func (p *pending) stateLess(a, b int32) bool {
+	x, y := &p.states[a], &p.states[b]
+	// Exact IEEE inequality keeps this tie-break a strict weak order; an
+	// epsilon compare would not.
+	if x.cost != y.cost { //lint:floatexact comparator tie-break: epsilon would break the strict weak order
+		return x.cost < y.cost
+	}
+	return less(x.set, y.set)
+}
+
+// solver holds every scratch structure of the block dynamic program so one
+// Schedule call (or one SolveSequence caller) reuses the allocations across
+// blocks. The zero value is ready. Per-block context (the block, the model,
+// the filled options) lives in fields so the enumeration can recurse
+// through methods without per-block closures.
+type solver struct {
+	inBlock []int32 // graph OpID -> local block index, -1 outside
+	preds   [][]int // local intra-block predecessor lists
+
+	ring      []pending    // pending buckets, slot = count % (MaxStage+1)
+	done      []dpState    // expanded states, in expansion order
+	doneArena []graph.OpID // stage storage of done states
+
+	front  []int          // frontier scratch
+	stage  []int          // current candidate stage (local indices)
+	probe  []graph.OpID   // candidate stage as graph IDs (generic path)
+	keep   []int32        // beam selection scratch
+	succs  [][]int        // local successor lists (chain bounds)
+	tails  []units.Millis // longest remaining dependency chain per local op
+	keyBuf []byte         // dpcache signature scratch (cache.go)
+
+	// Per-block context.
+	block    []graph.OpID
+	m        cost.Model
+	items    []cost.Item     // per local op (fast path); valid when fast
+	ct       cost.Contention // item fold (fast path)
+	fast     bool            // m implements cost.ItemModel
+	maxStage int
+	window   int
+
+	// DFS-incremental candidate state: nset/nhash track curSet plus the
+	// members of s.stage; cur* are the expanding state's fields, copied
+	// out of the bucket so methods never hold pointers into growable
+	// slabs.
+	nset     bitset
+	nhash    uint64
+	curCost  units.Millis
+	curWork  units.Millis
+	curDone  int32
+	curCount int32
+
+	// Incumbent pruning (fast path only; see solveBlock).
+	prune     bool         // incumbent threshold active
+	exactLB   bool         // lower-bound pruning active (exact mode only)
+	haveTails bool         // tails valid (block order was topological)
+	thr       units.Millis // incumbent cost threshold
+	totalWork units.Millis // Σ t·u over the whole block
+	didPrune  bool         // at least one state was actually discarded
+}
+
+// ensureInBlock sizes the OpID -> local-index map for a graph of n
+// operators, every entry -1 (callers restore what they set).
+func (s *solver) ensureInBlock(n int) {
 	if len(s.inBlock) < n {
 		s.inBlock = make([]int32, n)
 		for i := range s.inBlock {
 			s.inBlock[i] = -1
 		}
 	}
+}
+
+// reset prepares the solver for a block of b operators over a graph of n.
+func (s *solver) reset(n, b int, opt Options) {
+	s.ensureInBlock(n)
 	s.preds = growNested(s.preds, b)
 	for i := range s.preds {
 		s.preds[i] = s.preds[i][:0]
 	}
-	s.states = s.states[:0]
-	s.arena = s.arena[:0]
-	s.words = (b + 63) / 64
-	s.filled = 0
-	// Start small; rehash doubles as the state population grows.
-	const initialIndex = 256
-	if cap(s.index) >= initialIndex {
-		s.index = s.index[:initialIndex]
-		clear(s.index)
+	ringLen := opt.MaxStage + 1
+	if cap(s.ring) < ringLen {
+		next := make([]pending, ringLen)
+		copy(next, s.ring)
+		s.ring = next
 	} else {
-		s.index = make([]int32, initialIndex)
+		s.ring = s.ring[:ringLen]
 	}
-	s.bucket = growNested(s.bucket, b+1)
-	for i := range s.bucket {
-		s.bucket[i] = s.bucket[i][:0]
+	// Start each index small; rehash doubles as a count's population grows,
+	// and recycle keeps whatever size a slot reached.
+	const initialIndex = 256
+	for i := range s.ring {
+		pd := &s.ring[i]
+		pd.states = pd.states[:0]
+		pd.arena = pd.arena[:0]
+		pd.filled = 0
+		if cap(pd.index) < initialIndex {
+			pd.index = make([]int32, initialIndex)
+		} else {
+			clear(pd.index)
+		}
 	}
+	s.done = s.done[:0]
+	s.doneArena = s.doneArena[:0]
+	s.maxStage = opt.MaxStage
+	s.window = opt.PruneWindow
+	s.prune = false
+	s.exactLB = false
+	s.haveTails = false
+	s.didPrune = false
 }
 
 // growNested resizes a slice of slices, keeping the inner backing arrays
@@ -191,10 +258,282 @@ func growNested[T any](buf [][]T, n int) [][]T {
 	return buf[:n]
 }
 
+// transition records the candidate stage in s.stage as a DP transition
+// from the current expanding state: dp[S∪T] = min(dp[S∪T], dp[S] + t).
+// The target state's set and hash are already in nset/nhash (maintained by
+// the enumeration DFS); stageWork is the stage's Σ t·u (fast path; 0 on
+// the generic path, which never reads work).
+func (s *solver) transition(t, stageWork units.Millis) {
+	ncost := s.curCost + t
+	ncount := s.curCount + int32(len(s.stage))
+	pd := &s.ring[int(ncount)%len(s.ring)]
+	if oi := pd.find(s.nhash, &s.nset); oi >= 0 {
+		old := &pd.states[oi]
+		if ncost < old.cost {
+			old.cost = ncost
+			old.work = s.curWork + stageWork
+			old.prev = s.curDone
+			// Stage-slice interning: overwrite the state's arena range in
+			// place when the improved stage fits (ranges are exclusive per
+			// state), append a fresh range only when it grew.
+			if int32(len(s.stage)) <= old.stageLen {
+				for k, li := range s.stage {
+					pd.arena[int(old.stageOff)+k] = s.block[li]
+				}
+			} else {
+				old.stageOff = int32(len(pd.arena))
+				for _, li := range s.stage {
+					pd.arena = append(pd.arena, s.block[li])
+				}
+			}
+			old.stageLen = int32(len(s.stage))
+		}
+		return
+	}
+	off := int32(len(pd.arena))
+	for _, li := range s.stage {
+		pd.arena = append(pd.arena, s.block[li])
+	}
+	pd.states = append(pd.states, dpState{
+		set:      s.nset,
+		hash:     s.nhash,
+		cost:     ncost,
+		work:     s.curWork + stageWork,
+		prev:     s.curDone,
+		stageOff: off,
+		stageLen: int32(len(s.stage)),
+		count:    ncount,
+	})
+	pd.insert(int32(len(pd.states) - 1))
+}
+
+// enumFast visits every non-empty subset of fr[i:] extending the current
+// stage prefix (capped at maxStage members), pricing each candidate by
+// folding the block's items through the contention model incrementally:
+// the aggregates ride the recursion as arguments, so extending a stage by
+// one operator costs one accumulate instead of re-pricing the whole
+// candidate. The visit order is identical to the generic enumeration.
+func (s *solver) enumFast(fr []int, i int, maxT, work units.Millis, util float64) {
+	for j := i; j < len(fr); j++ {
+		li := fr[j]
+		it := s.items[li]
+		nmaxT, nwork, nutil := s.ct.Accumulate(maxT, work, util, it.Time, it.Util)
+		s.nset.set(li)
+		s.nhash ^= zobrist[li]
+		s.stage = append(s.stage, li)
+		var t units.Millis
+		if len(s.stage) == 1 {
+			// Bit-identical to the fold: with util in (0, 1] after
+			// clamping, max(t, t·u) is t and no oversubscription scale
+			// fires. Matches GraphModel.StageTime's singleton case.
+			t = it.Time
+		} else {
+			t = s.ct.Combine(nmaxT, nwork, nutil)
+		}
+		s.transition(t, nwork)
+		if len(s.stage) < s.maxStage && j+1 < len(fr) {
+			s.enumFast(fr, j+1, nmaxT, nwork, nutil)
+		}
+		s.stage = s.stage[:len(s.stage)-1]
+		s.nhash ^= zobrist[li]
+		s.nset.unset(li)
+	}
+}
+
+// enumGeneric is enumFast for models outside the ItemModel contract: each
+// candidate is priced by m.StageTime on the incrementally maintained probe
+// slice. The probe contents, call set and call order are identical to the
+// pre-rework DP, which keeps probe-counting models (profile.CostTable and
+// the Fig. 14 accounting built on it) byte-identical.
+func (s *solver) enumGeneric(fr []int, i int) {
+	for j := i; j < len(fr); j++ {
+		li := fr[j]
+		s.nset.set(li)
+		s.nhash ^= zobrist[li]
+		s.stage = append(s.stage, li)
+		s.probe = append(s.probe, s.block[li])
+		s.transition(s.m.StageTime(s.probe), 0)
+		if len(s.stage) < s.maxStage && j+1 < len(fr) {
+			s.enumGeneric(fr, j+1)
+		}
+		s.probe = s.probe[:len(s.probe)-1]
+		s.stage = s.stage[:len(s.stage)-1]
+		s.nhash ^= zobrist[li]
+		s.nset.unset(li)
+	}
+}
+
+// dive runs one greedy completion from the empty state: every step
+// schedules the first min(width, len) frontier operators as one stage.
+// Each such stage is a candidate the DP enumeration itself generates
+// (width never exceeds MaxStage or PruneWindow), and each stage is priced
+// with the DP's own arithmetic, so the returned total is the exact cost
+// of a reachable DP path — a sound incumbent. Reports ok=false when the
+// dive dead-ends (a cyclic block), which disables pruning so the DP
+// surfaces the same error it always has.
+func (s *solver) dive(b, width int) (units.Millis, bool) {
+	var set bitset
+	var total units.Millis
+	for scheduled := 0; scheduled < b; {
+		s.front = frontierOf(set, s.preds[:b], b, s.front[:0])
+		if len(s.front) == 0 {
+			return 0, false
+		}
+		fr := s.front
+		if len(fr) > width {
+			fr = fr[:width]
+		}
+		var maxT, work units.Millis
+		var util float64
+		for _, li := range fr {
+			it := s.items[li]
+			maxT, work, util = s.ct.Accumulate(maxT, work, util, it.Time, it.Util)
+			set.set(li)
+		}
+		if len(fr) == 1 {
+			total += s.items[fr[0]].Time
+		} else {
+			total += s.ct.Combine(maxT, work, util)
+		}
+		scheduled += len(fr)
+	}
+	return total, true
+}
+
+// prepareBounds computes the per-operator completion lower bounds used by
+// exact-mode pruning: tails[i] is the longest dependency chain starting
+// at i (every chain member occupies a distinct later stage, and a stage
+// costs at least its longest member), and totalWork is the block's Σ t·u
+// (a stage costs at least its utilization-weighted work). Chain bounds
+// need the local order to be topological — true for Blocks output and
+// every schedule-derived sequence — and are skipped (not faked) when a
+// caller hands SolveSequence something stranger.
+func (s *solver) prepareBounds(b int) {
+	topo := true
+	for i := 0; i < b && topo; i++ {
+		for _, p := range s.preds[i] {
+			if p >= i {
+				topo = false
+				break
+			}
+		}
+	}
+	if topo {
+		s.succs = growNested(s.succs, b)
+		for i := range s.succs {
+			s.succs[i] = s.succs[i][:0]
+		}
+		for i := 0; i < b; i++ {
+			for _, p := range s.preds[i] {
+				s.succs[p] = append(s.succs[p], i)
+			}
+		}
+		if cap(s.tails) < b {
+			s.tails = make([]units.Millis, b)
+		}
+		s.tails = s.tails[:b]
+		for i := b - 1; i >= 0; i-- {
+			var best units.Millis
+			for _, j := range s.succs[i] {
+				if s.tails[j] > best {
+					best = s.tails[j]
+				}
+			}
+			s.tails[i] = s.items[i].Time + best
+		}
+		s.haveTails = true
+	}
+	var maxT, work units.Millis
+	var util float64
+	for _, it := range s.items {
+		maxT, work, util = s.ct.Accumulate(maxT, work, util, it.Time, it.Util)
+	}
+	s.totalWork = work
+}
+
+// lowerBound returns a completion lower bound for the expanding state:
+// the longest remaining dependency chain (rooted at a frontier operator —
+// every unscheduled operator sits below one) and the remaining
+// utilization-weighted work, whichever is larger. Both bounds are
+// "consistent" — they never exceed the true remaining cost by more than
+// float fold-order noise, which the incumbent margin absorbs.
+func (s *solver) lowerBound(stWork units.Millis) units.Millis {
+	var lb units.Millis
+	if s.haveTails {
+		for _, f := range s.front {
+			if s.tails[f] > lb {
+				lb = s.tails[f]
+			}
+		}
+	}
+	if rem := s.totalWork - stWork; rem > lb {
+		lb = rem
+	}
+	return lb
+}
+
+// selectBeam picks the beam cheapest states of the bucket under the
+// (cost, bitset) total order and returns their indices in ascending
+// order — exactly the prefix a full sort-and-trim would keep, found with
+// a bounded max-heap in O(n log beam) instead of sorting the whole
+// bucket.
+func (s *solver) selectBeam(pd *pending, beam int) []int32 {
+	s.keep = s.keep[:0]
+	for i := 0; i < beam; i++ {
+		s.keep = append(s.keep, int32(i))
+	}
+	for i := beam/2 - 1; i >= 0; i-- {
+		siftDown(pd, s.keep, i)
+	}
+	for i := beam; i < len(pd.states); i++ {
+		if pd.stateLess(int32(i), s.keep[0]) {
+			s.keep[0] = int32(i)
+			siftDown(pd, s.keep, 0)
+		}
+	}
+	for n := len(s.keep) - 1; n > 0; n-- {
+		s.keep[0], s.keep[n] = s.keep[n], s.keep[0]
+		siftDown(pd, s.keep[:n], 0)
+	}
+	return s.keep
+}
+
+// siftDown restores the max-heap property (largest kept state on top,
+// under pending.stateLess) at position i of h.
+func siftDown(pd *pending, h []int32, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		j := l
+		if r := l + 1; r < len(h) && pd.stateLess(h[l], h[r]) {
+			j = r
+		}
+		if !pd.stateLess(h[i], h[j]) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
 // solveBlock runs the IOS dynamic program on one block and returns the
 // optimal (or beam-pruned) stage decomposition in execution order. The
-// returned stage slices are freshly allocated (the solver's arena is
+// returned stage slices are freshly allocated (the solver's storage is
 // reused by the next block).
+//
+// For cost models satisfying the ItemModel contract the DP additionally
+// prunes with an incumbent bound: two greedy dives (stage width
+// min(MaxStage, PruneWindow), and width 1) provide an exact reachable-path
+// cost, and any state whose own cost — plus, in exact mode, a completion
+// lower bound — exceeds that incumbent (with a 1e-9 relative margin
+// absorbing float fold-order noise) is discarded unexpanded. Pruning is
+// exact, not approximate: a discarded state provably cannot change the
+// final (cost, back-pointer, stage) chain, and as a belt-and-braces
+// guarantee the solve reruns itself unpruned in the (never yet observed)
+// case that the pruned run finishes above the incumbent threshold. See
+// DESIGN.md §15 for the full invariant argument.
 //
 // solveBlock (not Schedule) is the hot-path root: the surrounding block
 // partition (Blocks) legitimately allocates its one-shot reachability
@@ -209,7 +548,8 @@ func (s *solver) solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, op
 	if b > maxBlockOps {
 		return nil, fmt.Errorf("ios: block of %d operators exceeds the %d-operator limit", b, maxBlockOps)
 	}
-	s.reset(g.NumOps(), b)
+	s.reset(g.NumOps(), b, opt)
+	s.block, s.m = block, m
 	for i, v := range block {
 		s.inBlock[v] = int32(i)
 	}
@@ -239,122 +579,153 @@ func (s *solver) solveBlock(g *graph.Graph, m cost.Model, block []graph.OpID, op
 		beam = 0 // exact within small blocks
 	}
 
-	// State 0 is the empty start state.
-	s.states = append(s.states, dpState{prev: -1})
-	s.insert(0)
-	// Buckets by number of scheduled operators, processed in order; every
-	// transition strictly increases the count, so each bucket is final
-	// when processed.
-	s.bucket[0] = append(s.bucket[0], 0)
+	im, fast := m.(cost.ItemModel)
+	s.fast = fast
+	if fast {
+		s.ct = im.Contention()
+		s.items = s.items[:0]
+		for _, v := range block {
+			s.items = append(s.items, im.StageItem(v))
+		}
+		if !opt.NoPrune {
+			// Incumbent pruning. Restricted to the item fast path: a
+			// greedy dive against a probe-counting model would add probes
+			// the unpruned DP never made and corrupt the Fig. 14
+			// profiling accounting.
+			w := min(opt.MaxStage, opt.PruneWindow)
+			inc1, ok1 := s.dive(b, w)
+			inc2, ok2 := s.dive(b, 1)
+			if ok1 && ok2 {
+				s.thr = min(inc1, inc2).Scale(1 + 1e-9)
+				s.prune = true
+				if beam == 0 {
+					// Lower-bound pruning discards live states and is only
+					// result-invariant when every state is otherwise
+					// expanded — i.e. in exact mode. Under a beam it could
+					// change which states the beam keeps, so beam mode
+					// prunes on accumulated cost alone.
+					s.exactLB = true
+					s.prepareBounds(b)
+				}
+			}
+		}
+	}
 
-	// probe is the scratch operator list handed to the cost model for
-	// every enumerated candidate. No cost.Model implementation retains
-	// the slice (GraphModel is pure; CostTable keys by value), so one
-	// buffer serves the whole enumeration and the members are interned
-	// into the arena only when a candidate actually becomes (or improves)
-	// a DP state's stage.
+	// State 0 is the empty start state; buckets are processed in count
+	// order, and every transition strictly increases the count, so each
+	// bucket is final when its turn comes.
+	ring0 := &s.ring[0]
+	ring0.states = append(ring0.states, dpState{prev: -1})
+	ring0.insert(0)
+
 	if cap(s.probe) < opt.MaxStage {
 		s.probe = make([]graph.OpID, 0, opt.MaxStage)
 	}
+	s.probe = s.probe[:0]
 	if cap(s.stage) < opt.MaxStage {
 		s.stage = make([]int, 0, opt.MaxStage)
 	}
-	// curSet/curCost are the expanding state's fields, copied out of the
-	// slab so the visit closure (allocated once per block) never holds a
-	// pointer into the growable slab.
-	var curSet bitset
-	var curCost units.Millis
-	curIdx := int32(0)
-	visit := func(stage []int) {
-		nset := curSet
-		s.probe = s.probe[:0]
-		for _, li := range stage {
-			nset.set(li)
-			s.probe = append(s.probe, block[li])
-		}
-		t := m.StageTime(s.probe)
-		ncost := curCost + t
-		if oi := s.find(&nset); oi >= 0 {
-			old := &s.states[oi]
-			if ncost < old.cost {
-				old.cost = ncost
-				old.prev = curIdx
-				// Stage-slice interning: overwrite the state's arena
-				// range in place when the improved stage fits (ranges
-				// are exclusive per state), append a fresh range only
-				// when it grew. The old code allocated a copy on every
-				// better-cost hit.
-				if int32(len(s.probe)) <= old.stageLen {
-					copy(s.arena[old.stageOff:], s.probe)
-					old.stageLen = int32(len(s.probe))
-				} else {
-					old.stageOff, old.stageLen = s.internStage(s.probe)
-				}
-			}
-			return
-		}
-		off, ln := s.internStage(s.probe)
-		ns := dpState{
-			set:      nset,
-			cost:     ncost,
-			prev:     curIdx,
-			stageOff: off,
-			stageLen: ln,
-			count:    s.states[curIdx].count + int32(len(stage)),
-		}
-		s.states = append(s.states, ns)
-		si := int32(len(s.states) - 1)
-		s.insert(si)
-		s.bucket[ns.count] = append(s.bucket[ns.count], si)
-	}
+	s.stage = s.stage[:0]
 
 	for c := 0; c < b; c++ {
-		bucket := s.bucket[c]
-		if beam > 0 && len(bucket) > beam {
-			s.sorter.states, s.sorter.bucket = s.states, bucket
-			sort.Sort(&s.sorter)
-			bucket = bucket[:beam]
+		pd := &s.ring[c%len(s.ring)]
+		var kept []int32
+		n := len(pd.states)
+		if beam > 0 && n > beam {
+			kept = s.selectBeam(pd, beam)
+			n = len(kept)
 		}
-		for _, si := range bucket {
-			st := &s.states[si]
+		for k := 0; k < n; k++ {
+			si := int32(k)
+			if kept != nil {
+				si = kept[k]
+			}
+			st := &pd.states[si]
+			if s.prune && st.cost > s.thr {
+				// Already above the best known completion: no descendant
+				// can improve any state the final schedule passes through.
+				s.didPrune = true
+				continue
+			}
 			s.front = frontierOf(st.set, s.preds[:b], b, s.front[:0])
 			if len(s.front) == 0 {
 				return nil, fmt.Errorf("ios: empty frontier with %d/%d scheduled (cyclic block?)", c, b)
 			}
+			if s.exactLB && st.cost+s.lowerBound(st.work) > s.thr {
+				s.didPrune = true
+				continue
+			}
+			// Move the expanding state to the done slab: its bucket is
+			// recycled after this count, but back-pointers must survive.
+			di := int32(len(s.done))
+			doneOff := int32(len(s.doneArena))
+			s.doneArena = append(s.doneArena, pd.arena[st.stageOff:st.stageOff+st.stageLen]...)
+			ds := *st
+			ds.stageOff = doneOff
+			s.done = append(s.done, ds)
+
+			s.curCost, s.curWork, s.curDone, s.curCount = st.cost, st.work, di, int32(c)
+			s.nset = st.set
+			s.nhash = st.hash
 			fr := s.front
 			if len(fr) > opt.PruneWindow {
 				fr = fr[:opt.PruneWindow]
 			}
-			curSet, curCost, curIdx = st.set, st.cost, si
-			s.stage = enumStages(fr, opt.MaxStage, s.stage[:0], 0, visit)
+			if fast {
+				s.enumFast(fr, 0, 0, 0, 0)
+			} else {
+				s.enumGeneric(fr, 0)
+			}
 		}
+		pd.recycle()
 	}
 
 	var full bitset
+	fh := uint64(0)
 	for i := 0; i < b; i++ {
 		full.set(i)
+		fh ^= zobrist[i]
 	}
-	end := s.find(&full)
+	fullPd := &s.ring[b%len(s.ring)]
+	end := fullPd.find(fh, &full)
+	if s.didPrune && (end < 0 || fullPd.states[end].cost > s.thr) {
+		// The pruned search finished above its own incumbent threshold —
+		// only possible when a beam cut every path below the incumbent, in
+		// which case the pruned and unpruned searches may diverge. Solve
+		// again without pruning so the result is identical to the
+		// pre-pruning DP by construction.
+		opt.NoPrune = true
+		return s.solveBlock(g, m, block, opt)
+	}
 	if end < 0 {
 		return nil, fmt.Errorf("ios: dynamic program did not reach the full state (beam too narrow?)")
 	}
 	// Walk predecessors back to the empty state twice: once to count the
-	// stages, once to copy each stage out of the arena (which is recycled
-	// for the next block) directly into its execution-order slot.
-	count := 0
-	for cur := end; s.states[cur].stageLen > 0; {
-		if s.states[cur].prev < 0 {
+	// stages, once to copy each stage out of the arenas directly into its
+	// execution-order slot. The final state's stage still lives in its
+	// pending bucket; every earlier stage lives in the done arena.
+	count := 1 // the full state's own stage
+	for cur := fullPd.states[end].prev; ; count++ {
+		if cur < 0 {
 			return nil, fmt.Errorf("ios: broken DP back-pointer")
 		}
-		count++
-		cur = s.states[cur].prev
+		d := &s.done[cur]
+		if d.stageLen == 0 {
+			break // the empty start state
+		}
+		cur = d.prev
 	}
 	out := make([][]graph.OpID, count)
 	i := count - 1
-	for cur := end; s.states[cur].stageLen > 0; i-- {
-		st := &s.states[cur]
-		out[i] = append([]graph.OpID(nil), s.arena[st.stageOff:st.stageOff+st.stageLen]...)
-		cur = st.prev
+	{
+		st := &fullPd.states[end]
+		out[i] = append([]graph.OpID(nil), fullPd.arena[st.stageOff:st.stageOff+st.stageLen]...)
+		i--
+	}
+	for cur := fullPd.states[end].prev; cur >= 0 && s.done[cur].stageLen > 0; i-- {
+		d := &s.done[cur]
+		out[i] = append([]graph.OpID(nil), s.doneArena[d.stageOff:d.stageOff+d.stageLen]...)
+		cur = d.prev
 	}
 	return out, nil
 }
@@ -388,25 +759,4 @@ func frontierOf(set bitset, preds [][]int, b int, out []int) []int {
 		}
 	}
 	return out
-}
-
-// enumStages calls fn with every non-empty subset of frontier[i:]
-// extending the current stage prefix, capped at maxStage members. The
-// stage slice is reused across the recursion (and returned so appends
-// propagate); fn must copy what it keeps — solveBlock translates each
-// candidate into its probe buffer immediately. A plain recursive function
-// (not a closure pair) so the enumeration itself performs no allocation.
-func enumStages(frontier []int, maxStage int, stage []int, i int, fn func(stage []int)) []int {
-	if len(stage) > 0 {
-		fn(stage)
-	}
-	if i >= len(frontier) || len(stage) >= maxStage {
-		return stage
-	}
-	for j := i; j < len(frontier); j++ {
-		stage = append(stage, frontier[j])
-		stage = enumStages(frontier, maxStage, stage, j+1, fn)
-		stage = stage[:len(stage)-1]
-	}
-	return stage
 }

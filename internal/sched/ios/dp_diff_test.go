@@ -1,0 +1,143 @@
+package ios
+
+// Differential tests of the DP's exactness knobs. Pruning, the block
+// cache, and intra-solve parallelism are all advertised as EXACT — they
+// may never change a returned schedule, only how fast it is computed.
+// These tests enforce that promise the blunt way: solve a few hundred
+// random graphs with each knob flipped both ways and require the stage
+// decompositions to match structurally (same ops in the same stages in
+// the same order) and the latencies to match bit for bit.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/shus-lab/hios/internal/cost"
+	"github.com/shus-lab/hios/internal/dpcache"
+	"github.com/shus-lab/hios/internal/randdag"
+	"github.com/shus-lab/hios/internal/sched"
+)
+
+// diffInstances is the graph count per differential test. The issue
+// demands at least 200; the instances are small enough that a pair of
+// solves each stays well under a second in total.
+const diffInstances = 200
+
+// diffCase derives the i-th differential instance: a random graph whose
+// size and shape vary with i (small multi-block graphs through wide
+// beam-mode blocks) plus an options value that cycles through exact
+// mode, beam mode, and tight stage bounds.
+func diffCase(i int) (*randdag.Config, Options) {
+	rng := rand.New(rand.NewSource(int64(1000 + i)))
+	cfg := randdag.Paper()
+	cfg.Ops = 15 + rng.Intn(35)
+	cfg.Layers = 3 + rng.Intn(8)
+	cfg.Deps = cfg.Ops + rng.Intn(cfg.Ops)
+	cfg.Seed = int64(i + 1)
+	var opt Options
+	switch i % 3 {
+	case 0: // defaults: exact for narrow blocks, beam for wide ones
+	case 1: // force beam mode everywhere
+		opt.ExactLimit = 1
+		opt.Beam = 8 + rng.Intn(48)
+	case 2: // exact everywhere, tight stage bounds (kept small: the
+		// unpruned exact DP is exponential in the block width)
+		cfg.Ops = 12 + rng.Intn(12)
+		cfg.Deps = cfg.Ops + rng.Intn(cfg.Ops)
+		opt.ExactLimit = 512
+		opt.MaxStage = 2 + rng.Intn(2)
+		opt.PruneWindow = 4 + rng.Intn(4)
+	}
+	return &cfg, opt
+}
+
+// renderSchedule solves the graph under the options and returns an exact
+// textual rendering of the result: every stage's operator list plus the
+// latency's full float formatting. Two renderings are equal iff the
+// schedules are identical.
+func renderSchedule(t *testing.T, cfg *randdag.Config, opt Options) string {
+	t.Helper()
+	g := randdag.MustGenerate(*cfg)
+	m := cost.FromGraph(g, cost.DefaultContention())
+	res, err := Schedule(g, m, opt)
+	if err != nil {
+		t.Fatalf("Schedule(%+v): %v", opt, err)
+	}
+	if err := sched.Validate(g, res.Schedule); err != nil {
+		t.Fatalf("invalid schedule under %+v: %v", opt, err)
+	}
+	return fmt.Sprintf("%v|%b", res.Schedule.GPUs[0].Stages, float64(res.Latency))
+}
+
+func TestPrunedMatchesUnpruned(t *testing.T) {
+	for i := 0; i < diffInstances; i++ {
+		cfg, opt := diffCase(i)
+		opt.NoCache = true // isolate the pruning axis
+		pruned := renderSchedule(t, cfg, opt)
+		opt.NoPrune = true
+		unpruned := renderSchedule(t, cfg, opt)
+		if pruned != unpruned {
+			t.Fatalf("instance %d (%+v): pruning changed the schedule\npruned:   %s\nunpruned: %s",
+				i, opt, pruned, unpruned)
+		}
+	}
+}
+
+func TestCachedMatchesUncached(t *testing.T) {
+	dpcache.Shared().Reset()
+	for i := 0; i < diffInstances; i++ {
+		cfg, opt := diffCase(i)
+		opt.NoCache = true
+		want := renderSchedule(t, cfg, opt)
+		opt.NoCache = false
+		cold := renderSchedule(t, cfg, opt) // fills the cache
+		warm := renderSchedule(t, cfg, opt) // replays from it
+		if cold != want || warm != want {
+			t.Fatalf("instance %d (%+v): caching changed the schedule\nuncached: %s\ncold:     %s\nwarm:     %s",
+				i, opt, want, cold, warm)
+		}
+	}
+	if st := dpcache.Shared().Stats(); st.Hits == 0 {
+		t.Fatalf("warm re-solves never hit the cache: %+v", st)
+	}
+}
+
+// TestParallelMatchesSerial is the width-equivalence property of
+// Options.Workers: any worker count produces the serial schedule.
+func TestParallelMatchesSerial(t *testing.T) {
+	for i := 0; i < diffInstances; i++ {
+		cfg, opt := diffCase(i)
+		opt.NoCache = true // exercise real concurrent solves, not replays
+		serial := renderSchedule(t, cfg, opt)
+		for _, w := range []int{2, 4, 8} {
+			opt.Workers = w
+			if got := renderSchedule(t, cfg, opt); got != serial {
+				t.Fatalf("instance %d (%+v): %d workers diverged from serial\nserial:  %s\nworkers: %s",
+					i, opt, w, serial, got)
+			}
+		}
+	}
+}
+
+// All three knobs at once, against the all-off reference.
+func TestAllKnobsMatchReference(t *testing.T) {
+	dpcache.Shared().Reset()
+	for i := 0; i < diffInstances; i += 4 {
+		cfg, opt := diffCase(i)
+		ref := opt
+		ref.NoPrune, ref.NoCache = true, true
+		want := renderSchedule(t, cfg, ref)
+		opt.Workers = 4
+		if got := renderSchedule(t, cfg, opt); got != want {
+			t.Fatalf("instance %d: pruning+cache+workers diverged from the plain DP\nref: %s\ngot: %s",
+				i, want, got)
+		}
+	}
+}
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	if err := (Options{Workers: -1}).Validate(); err == nil {
+		t.Fatal("Options{Workers: -1}.Validate() accepted a negative worker count")
+	}
+}
